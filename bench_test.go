@@ -1,0 +1,70 @@
+package bgperf_test
+
+// One benchmark per reproduced paper table/figure: each iteration regenerates
+// the artifact end to end (workload construction, QBD solves across the
+// sweep, rendering-ready series). BenchmarkValidation additionally runs the
+// event simulator. Stochastic knobs are reduced from the defaults so a
+// benchmark iteration stays in the hundreds of milliseconds; the full-size
+// artifacts are produced by cmd/experiments.
+
+import (
+	"testing"
+
+	"bgperf/internal/experiments"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Seed:        1,
+		TraceLength: 300000,
+		Validation:  experiments.ValidationOptions{MeasureTime: 2e6},
+	}
+}
+
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh registry per iteration defeats the Suite's sweep cache, so
+		// every iteration measures the full artifact regeneration.
+		gen, ok := experiments.Lookup(name, benchOptions())
+		if !ok {
+			b.Fatalf("unknown experiment %q", name)
+		}
+		res, err := gen.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Figures)+len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure01(b *testing.B) { benchFigure(b, "1") }
+func BenchmarkFigure02(b *testing.B) { benchFigure(b, "2") }
+func BenchmarkFigure05(b *testing.B) { benchFigure(b, "5") }
+func BenchmarkFigure06(b *testing.B) { benchFigure(b, "6") }
+func BenchmarkFigure07(b *testing.B) { benchFigure(b, "7") }
+func BenchmarkFigure08(b *testing.B) { benchFigure(b, "8") }
+func BenchmarkFigure09(b *testing.B) { benchFigure(b, "9") }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, "10") }
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, "11") }
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, "12") }
+func BenchmarkFigure13(b *testing.B) { benchFigure(b, "13") }
+
+// BenchmarkValidation exercises the analytic-vs-simulation table (V-1).
+func BenchmarkValidation(b *testing.B) { benchFigure(b, "validation") }
+
+// BenchmarkAblation exercises the idle-policy and buffer ablations (A-1).
+func BenchmarkAblation(b *testing.B) { benchFigure(b, "ablation") }
+
+// BenchmarkExtension exercises the two-priority background table (E-1).
+func BenchmarkExtension(b *testing.B) { benchFigure(b, "extension") }
+
+// BenchmarkBaseline exercises the vacation-decomposition comparison (B-1).
+func BenchmarkBaseline(b *testing.B) { benchFigure(b, "baseline") }
+
+// BenchmarkScalability exercises the solver-scaling table (S-1); each
+// iteration runs the full buffer/order sweep including X = 50.
+func BenchmarkScalability(b *testing.B) { benchFigure(b, "scalability") }

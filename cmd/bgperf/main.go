@@ -1,0 +1,456 @@
+// Command bgperf solves, simulates, and characterizes the paper's
+// foreground/background storage model from the command line.
+//
+// Usage:
+//
+//	bgperf solve -workload email -util 0.3 -p 0.3            # analytic metrics
+//	bgperf sim   -workload softdev -util 0.5 -p 0.6 -time 2e8
+//	bgperf trace -workload email -n 100000 -out trace.csv    # synthetic trace
+//	bgperf fit   -rate 0.0133 -scv 100 -decay 0.999          # MMPP2 moment fit
+//	bgperf acf   -workload useraccounts -lags 50             # analytic ACF
+//	bgperf multi -workload softdev -util 0.2 -p1 0.25 -p2 0.5 # two BG priorities
+//	bgperf transient -workload email -util 0.1 -horizon 500  # warmup trajectory
+//
+// Workloads: email, softdev, useraccounts (the paper's trace MMPPs), plus
+// email-lowacf, email-ipp, poisson.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+	"bgperf/internal/multiclass"
+	"bgperf/internal/phtype"
+	"bgperf/internal/sim"
+	"bgperf/internal/trace"
+	"bgperf/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (solve | sim | trace | fit | acf | multi | transient)")
+	}
+	switch args[0] {
+	case "solve":
+		return cmdSolve(args[1:], out)
+	case "sim":
+		return cmdSim(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
+	case "fit":
+		return cmdFit(args[1:], out)
+	case "acf":
+		return cmdACF(args[1:], out)
+	case "multi":
+		return cmdMulti(args[1:], out)
+	case "transient":
+		return cmdTransient(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want solve | sim | trace | fit | acf | multi | transient)", args[0])
+	}
+}
+
+// workloadByName resolves a catalog workload.
+func workloadByName(name string) (*arrival.MAP, error) {
+	switch strings.ToLower(name) {
+	case "email":
+		return workload.Email()
+	case "softdev", "software-development":
+		return workload.SoftwareDevelopment()
+	case "useraccounts", "user-accounts":
+		return workload.UserAccounts()
+	case "email-lowacf":
+		return workload.EmailLowACF()
+	case "email-ipp":
+		return workload.EmailIPP()
+	case "poisson":
+		return workload.EmailPoisson()
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want email | softdev | useraccounts | email-lowacf | email-ipp | poisson)", name)
+	}
+}
+
+// modelFlags adds the flags shared by solve and sim.
+type modelFlags struct {
+	workload   *string
+	util       *float64
+	p          *float64
+	buffer     *int
+	idleMult   *float64
+	policy     *string
+	serviceSCV *float64
+	idleSCV    *float64
+}
+
+func addModelFlags(fs *flag.FlagSet) modelFlags {
+	return modelFlags{
+		workload:   fs.String("workload", "email", "arrival workload (email | softdev | useraccounts | email-lowacf | email-ipp | poisson)"),
+		util:       fs.Float64("util", 0, "foreground utilization to scale to (0 keeps the native trace load)"),
+		p:          fs.Float64("p", 0.3, "probability a foreground completion spawns a background job"),
+		buffer:     fs.Int("buffer", 5, "background buffer capacity"),
+		idleMult:   fs.Float64("idlemult", 1, "mean idle wait in multiples of the 6 ms service time"),
+		policy:     fs.String("policy", "per-job", "idle-wait policy (per-job | per-period)"),
+		serviceSCV: fs.Float64("servicescv", 1, "service-time SCV at the 6 ms mean (1: exponential; <1: Erlang; >1: hyperexponential)"),
+		idleSCV:    fs.Float64("idlescv", 1, "idle-wait SCV at the chosen mean (1: exponential; <1: Erlang, approximating fixed firmware timers)"),
+	}
+}
+
+func (f modelFlags) build() (core.Config, error) {
+	m, err := workloadByName(*f.workload)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if *f.util > 0 {
+		if m, err = workload.AtUtilization(m, *f.util); err != nil {
+			return core.Config{}, err
+		}
+	}
+	policy := core.IdleWaitPerJob
+	switch *f.policy {
+	case "per-job":
+	case "per-period":
+		policy = core.IdleWaitPerPeriod
+	default:
+		return core.Config{}, fmt.Errorf("unknown policy %q", *f.policy)
+	}
+	if *f.idleMult <= 0 {
+		return core.Config{}, fmt.Errorf("idlemult must be positive")
+	}
+	cfg := core.Config{
+		Arrival:    m,
+		BGProb:     *f.p,
+		BGBuffer:   *f.buffer,
+		IdlePolicy: policy,
+	}
+	idleMean := *f.idleMult * workload.MeanServiceTimeMs
+	if *f.idleSCV == 1 {
+		cfg.IdleRate = 1 / idleMean
+	} else {
+		idle, err := phtype.FitTwoMoment(idleMean, *f.idleSCV)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.IdleWait = idle
+	}
+	if *f.serviceSCV == 1 {
+		cfg.ServiceRate = workload.ServiceRatePerMs
+	} else {
+		svc, err := phtype.FitTwoMoment(workload.MeanServiceTimeMs, *f.serviceSCV)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Service = svc
+	}
+	return cfg, nil
+}
+
+func printMetrics(out io.Writer, m core.Metrics) {
+	fmt.Fprintf(out, "fg queue length      %12.6g\n", m.QLenFG)
+	fmt.Fprintf(out, "fg response time ms  %12.6g\n", m.RespTimeFG)
+	fmt.Fprintf(out, "fg delayed by bg     %12.6g\n", m.WaitPFG)
+	fmt.Fprintf(out, "bg completion rate   %12.6g\n", m.CompBG)
+	fmt.Fprintf(out, "bg queue length      %12.6g\n", m.QLenBG)
+	fmt.Fprintf(out, "util fg/bg           %12.6g %.6g\n", m.UtilFG, m.UtilBG)
+	fmt.Fprintf(out, "p(idle-wait)/p(empty)%12.6g %.6g\n", m.ProbIdleWait, m.ProbEmpty)
+	fmt.Fprintf(out, "bg gen/drop rate     %12.6g %.6g\n", m.GenRateBG, m.DropRateBG)
+}
+
+// printTails appends tail descriptors to the solve output.
+func printTails(out io.Writer, sol *core.Solution) {
+	fmt.Fprintf(out, "fg qlen stddev       %12.6g\n", sol.FGQueueStdDev())
+	fmt.Fprintf(out, "tail decay sp(R)     %12.6g\n", sol.TailDecayRate())
+	qs := []float64{0.5, 0.95, 0.99}
+	fmt.Fprintf(out, "fg qlen quantiles    ")
+	for _, q := range qs {
+		n, err := sol.FGQueueQuantile(q)
+		if err != nil {
+			fmt.Fprintf(out, "q%02.0f=err ", 100*q)
+			continue
+		}
+		fmt.Fprintf(out, "q%02.0f=%d ", 100*q, n)
+	}
+	fmt.Fprintln(out)
+}
+
+func cmdSolve(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	asJSON := fs.Bool("json", false, "emit the metrics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := mf.build()
+	if err != nil {
+		return err
+	}
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sol.Metrics)
+	}
+	idleMean := 0.0
+	if cfg.IdleWait != nil {
+		idleMean = cfg.IdleWait.Mean()
+	} else if cfg.IdleRate > 0 {
+		idleMean = 1 / cfg.IdleRate
+	}
+	fmt.Fprintf(out, "workload %s, fg-util %.4g, p %.3g, buffer %d, idle wait %.3g ms (%s)\n",
+		*mf.workload, model.FGUtilization(), cfg.BGProb, cfg.BGBuffer, idleMean, cfg.IdlePolicy)
+	printMetrics(out, sol.Metrics)
+	printTails(out, sol)
+	return nil
+}
+
+func cmdSim(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	var (
+		simTime = fs.Float64("time", 1e8, "measured simulation time in ms")
+		seed    = fs.Int64("seed", 1, "random seed")
+		detIdle = fs.Bool("detidle", false, "use a deterministic idle wait instead of exponential")
+		asJSON  = fs.Bool("json", false, "emit the metrics as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := mf.build()
+	if err != nil {
+		return err
+	}
+	simCfg := sim.Config{
+		Arrival:     cfg.Arrival,
+		ServiceRate: cfg.ServiceRate,
+		Service:     cfg.Service,
+		BGProb:      cfg.BGProb,
+		BGBuffer:    cfg.BGBuffer,
+		IdleRate:    cfg.IdleRate,
+		IdleWait:    cfg.IdleWait,
+		IdlePolicy:  cfg.IdlePolicy,
+		Seed:        *seed,
+		WarmupTime:  *simTime / 20,
+		MeasureTime: *simTime,
+	}
+	if *detIdle {
+		simCfg.IdleDist = sim.IdleDeterministic
+	}
+	res, err := sim.Run(simCfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Metrics)
+	}
+	fmt.Fprintf(out, "simulated %.4g ms (seed %d): %d fg arrivals, %d bg generated\n",
+		res.SimTime, *seed, res.Counters.ArrivalsFG, res.Counters.GeneratedBG)
+	printMetrics(out, res.Metrics)
+	fmt.Fprintf(out, "qlen 95%% half-width  %12.6g (fg) %.6g (bg)\n", res.QLenFGHalf, res.QLenBGHalf)
+	return nil
+}
+
+func cmdTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	var (
+		name = fs.String("workload", "email", "arrival workload")
+		n    = fs.Int("n", 100000, "number of requests")
+		seed = fs.Int64("seed", 1, "random seed")
+		dest = fs.String("out", "", "output CSV path (default: stats to stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := workloadByName(*name)
+	if err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("trace length must be positive")
+	}
+	tr := trace.GenerateWithService(m, *n, *seed, workload.ServiceRatePerMs)
+	ia := tr.InterarrivalStats()
+	sv := tr.ServiceStats()
+	fmt.Fprintf(out, "trace: %d requests from %s\n", *n, *name)
+	fmt.Fprintf(out, "inter-arrival mean %.6g ms, CV %.4g\n", ia.Mean, ia.CV)
+	fmt.Fprintf(out, "service       mean %.6g ms, CV %.4g\n", sv.Mean, sv.CV)
+	fmt.Fprintf(out, "utilization   %.4g\n", tr.Utilization())
+	acf := tr.InterarrivalACF(10)
+	fmt.Fprintf(out, "sample ACF(1..10): ")
+	for _, v := range acf {
+		fmt.Fprintf(out, "%.3f ", v)
+	}
+	fmt.Fprintln(out)
+	if *dest == "" {
+		return nil
+	}
+	f, err := os.Create(*dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *dest)
+	return f.Close()
+}
+
+func cmdFit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	var (
+		rate  = fs.Float64("rate", 1.0/75, "target mean arrival rate (per ms)")
+		scv   = fs.Float64("scv", 20, "target squared coefficient of variation")
+		acf1  = fs.Float64("acf1", 0, "target lag-1 ACF (0: implied by scv and decay)")
+		decay = fs.Float64("decay", 0.99, "target geometric ACF decay")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := arrival.FitMMPP2(arrival.FitSpec{Rate: *rate, SCV: *scv, ACF1: *acf1, Decay: *decay})
+	if err != nil {
+		return err
+	}
+	d0, d1 := m.D0(), m.D1()
+	fmt.Fprintf(out, "MMPP2 fit: v1=%.8g v2=%.8g l1=%.8g l2=%.8g\n",
+		d0.At(0, 1), d0.At(1, 0), d1.At(0, 0), d1.At(1, 1))
+	fmt.Fprintf(out, "achieved: rate=%.6g scv=%.6g acf1=%.6g decay=%.6g\n",
+		m.Rate(), m.SCV(), m.ACF(1), m.ACFDecay())
+	return nil
+}
+
+func cmdACF(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("acf", flag.ContinueOnError)
+	var (
+		name = fs.String("workload", "email", "arrival workload")
+		lags = fs.Int("lags", 20, "number of lags")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := workloadByName(*name)
+	if err != nil {
+		return err
+	}
+	if *lags < 1 {
+		return fmt.Errorf("lags must be >= 1")
+	}
+	fmt.Fprintf(out, "%s: rate=%.6g scv=%.6g\n", *name, m.Rate(), m.SCV())
+	for k, v := range m.ACFSeries(*lags) {
+		fmt.Fprintf(out, "%4d %.6f\n", k+1, v)
+	}
+	return nil
+}
+
+func cmdMulti(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("multi", flag.ContinueOnError)
+	var (
+		name     = fs.String("workload", "softdev", "arrival workload")
+		util     = fs.Float64("util", 0, "foreground utilization to scale to (0 keeps the native trace load)")
+		p1       = fs.Float64("p1", 0.25, "spawn probability of class-1 (priority) background jobs")
+		p2       = fs.Float64("p2", 0.5, "spawn probability of class-2 background jobs")
+		buf1     = fs.Int("buffer1", 5, "class-1 buffer capacity")
+		buf2     = fs.Int("buffer2", 5, "class-2 buffer capacity")
+		idleMult = fs.Float64("idlemult", 1, "mean idle wait in multiples of the 6 ms service time")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := workloadByName(*name)
+	if err != nil {
+		return err
+	}
+	if *util > 0 {
+		if m, err = workload.AtUtilization(m, *util); err != nil {
+			return err
+		}
+	}
+	if *idleMult <= 0 {
+		return fmt.Errorf("idlemult must be positive")
+	}
+	model, err := multiclass.NewModel(multiclass.Config{
+		Arrival:     m,
+		ServiceRate: workload.ServiceRatePerMs,
+		BG1Prob:     *p1,
+		BG2Prob:     *p2,
+		BG1Buffer:   *buf1,
+		BG2Buffer:   *buf2,
+		IdleRate:    workload.ServiceRatePerMs / *idleMult,
+	})
+	if err != nil {
+		return err
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "workload %s, p1 %.3g (priority), p2 %.3g, buffers %d+%d\n",
+		*name, *p1, *p2, *buf1, *buf2)
+	fmt.Fprintf(out, "fg queue length        %12.6g\n", sol.QLenFG)
+	fmt.Fprintf(out, "fg delayed by bg       %12.6g\n", sol.WaitPFG)
+	fmt.Fprintf(out, "class-1 completion     %12.6g\n", sol.CompBG1)
+	fmt.Fprintf(out, "class-2 completion     %12.6g\n", sol.CompBG2)
+	fmt.Fprintf(out, "class-1/2 queue length %12.6g %.6g\n", sol.QLenBG1, sol.QLenBG2)
+	fmt.Fprintf(out, "class-1/2 throughput   %12.6g %.6g\n", sol.ThroughputBG1, sol.ThroughputBG2)
+	return nil
+}
+
+func cmdTransient(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("transient", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	var (
+		horizon  = fs.Float64("horizon", 500, "trajectory horizon in ms")
+		points   = fs.Int("points", 10, "number of evenly spaced time points")
+		maxLevel = fs.Int("maxlevel", 60, "chain truncation level (raise for high loads)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := mf.build()
+	if err != nil {
+		return err
+	}
+	if *horizon <= 0 || *points < 1 {
+		return fmt.Errorf("horizon and points must be positive")
+	}
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	times := make([]float64, *points)
+	for i := range times {
+		times[i] = *horizon * float64(i+1) / float64(*points)
+	}
+	pts, err := model.Transient(*maxLevel, times)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "warmup from an empty system (workload %s, fg-util %.4g, p %.3g)\n",
+		*mf.workload, model.FGUtilization(), cfg.BGProb)
+	fmt.Fprintf(out, "%10s %10s %10s %10s %10s\n", "t-ms", "fg-qlen", "bg-qlen", "p(empty)", "util-bg")
+	for _, pt := range pts {
+		fmt.Fprintf(out, "%10.4g %10.6g %10.6g %10.6g %10.6g\n",
+			pt.Time, pt.QLenFG, pt.QLenBG, pt.ProbEmpty, pt.UtilBG)
+	}
+	return nil
+}

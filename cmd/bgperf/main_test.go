@@ -1,0 +1,268 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestNoSubcommand(t *testing.T) {
+	if _, err := runCmd(t); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if _, err := runCmd(t, "bogus"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestSolveCommand(t *testing.T) {
+	out, err := runCmd(t, "solve", "-workload", "softdev", "-util", "0.3", "-p", "0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fg queue length", "bg completion rate", "fg-util 0.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSolveNativeLoad(t *testing.T) {
+	out, err := runCmd(t, "solve", "-workload", "email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fg-util 0.08") {
+		t.Errorf("native load not used:\n%s", out)
+	}
+}
+
+func TestSolvePerPeriodPolicy(t *testing.T) {
+	out, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.4", "-policy", "per-period")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "per-period") {
+		t.Errorf("policy not reflected:\n%s", out)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	tests := [][]string{
+		{"solve", "-workload", "nope"},
+		{"solve", "-policy", "sometimes"},
+		{"solve", "-idlemult", "-1"},
+		{"solve", "-workload", "email", "-util", "2"},
+	}
+	for _, args := range tests {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestSimCommand(t *testing.T) {
+	out, err := runCmd(t, "sim", "-workload", "poisson", "-util", "0.4", "-p", "0.5", "-time", "1e6", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"simulated", "fg arrivals", "qlen 95% half-width"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimDeterministicIdle(t *testing.T) {
+	if _, err := runCmd(t, "sim", "-workload", "poisson", "-util", "0.4", "-time", "1e5", "-detidle"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "trace.csv")
+	out, err := runCmd(t, "trace", "-workload", "useraccounts", "-n", "5000", "-out", dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sample ACF") {
+		t.Errorf("trace output missing stats:\n%s", out)
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 5001 { // header + rows
+		t.Errorf("trace file has %d lines, want 5001", lines)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := runCmd(t, "trace", "-n", "0"); err == nil {
+		t.Error("zero-length trace accepted")
+	}
+	if _, err := runCmd(t, "trace", "-workload", "zzz"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFitCommand(t *testing.T) {
+	out, err := runCmd(t, "fit", "-rate", "0.01", "-scv", "30", "-decay", "0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MMPP2 fit") || !strings.Contains(out, "achieved") {
+		t.Errorf("fit output incomplete:\n%s", out)
+	}
+}
+
+func TestFitInfeasible(t *testing.T) {
+	if _, err := runCmd(t, "fit", "-scv", "0.5"); err == nil {
+		t.Error("infeasible fit accepted")
+	}
+}
+
+func TestACFCommand(t *testing.T) {
+	out, err := runCmd(t, "acf", "-workload", "email-ipp", "-lags", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rate=") || len(strings.Split(strings.TrimSpace(out), "\n")) != 6 {
+		t.Errorf("acf output unexpected:\n%s", out)
+	}
+}
+
+func TestACFErrors(t *testing.T) {
+	if _, err := runCmd(t, "acf", "-lags", "0"); err == nil {
+		t.Error("zero lags accepted")
+	}
+}
+
+func TestWorkloadByNameAll(t *testing.T) {
+	for _, name := range []string{"email", "softdev", "useraccounts", "email-lowacf", "email-ipp", "poisson", "Email", "SOFTDEV"} {
+		if _, err := workloadByName(name); err != nil {
+			t.Errorf("workload %q: %v", name, err)
+		}
+	}
+}
+
+func TestMultiCommand(t *testing.T) {
+	out, err := runCmd(t, "multi", "-workload", "softdev", "-util", "0.2", "-p1", "0.3", "-p2", "0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"class-1 completion", "class-2 completion", "fg queue length"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiErrors(t *testing.T) {
+	if _, err := runCmd(t, "multi", "-p1", "0.8", "-p2", "0.8"); err == nil {
+		t.Error("p1+p2 > 1 accepted")
+	}
+	if _, err := runCmd(t, "multi", "-idlemult", "0"); err == nil {
+		t.Error("zero idlemult accepted")
+	}
+}
+
+func TestTransientCommand(t *testing.T) {
+	out, err := runCmd(t, "transient", "-workload", "poisson", "-util", "0.3", "-horizon", "100", "-points", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "warmup from an empty system") {
+		t.Errorf("transient output unexpected:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 6 { // 2 headers + 4 rows
+		t.Errorf("transient printed %d lines, want 6:\n%s", got, out)
+	}
+}
+
+func TestTransientErrors(t *testing.T) {
+	if _, err := runCmd(t, "transient", "-horizon", "-5"); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := runCmd(t, "transient", "-maxlevel", "1"); err == nil {
+		t.Error("tiny truncation accepted")
+	}
+}
+
+func TestServiceSCVFlag(t *testing.T) {
+	smooth, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.5", "-servicescv", "0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rough, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.5", "-servicescv", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth == rough {
+		t.Error("service SCV flag has no effect")
+	}
+	if _, err := runCmd(t, "solve", "-servicescv", "-1"); err == nil {
+		t.Error("negative service SCV accepted")
+	}
+}
+
+func TestIdleSCVFlag(t *testing.T) {
+	expo, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.5", "-p", "0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	erlang, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.5", "-p", "0.6", "-idlescv", "0.125")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expo == erlang {
+		t.Error("idle SCV flag has no effect")
+	}
+	if _, err := runCmd(t, "solve", "-idlescv", "-2"); err == nil {
+		t.Error("negative idle SCV accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.4", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if m["qlenFG"] <= 0 || m["compBG"] <= 0 {
+		t.Errorf("unexpected JSON metrics: %v", m)
+	}
+	simOut, err := runCmd(t, "sim", "-workload", "poisson", "-util", "0.4", "-time", "1e5", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(simOut), &m); err != nil {
+		t.Fatalf("invalid sim JSON: %v", err)
+	}
+}
+
+func TestSolveTailOutput(t *testing.T) {
+	out, err := runCmd(t, "solve", "-workload", "poisson", "-util", "0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tail decay sp(R)", "fg qlen quantiles", "q95="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+}

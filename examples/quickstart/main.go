@@ -1,0 +1,77 @@
+// Quickstart: solve the paper's model once and read every metric.
+//
+// The scenario is the paper's default setting — the E-mail server workload
+// scaled to a chosen foreground load, WRITE-verification-style background
+// jobs spawned by 30% of foreground completions, a 5-entry background
+// buffer, and an idle wait of one mean service time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgperf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	email, err := bgperf.EmailWorkload()
+	if err != nil {
+		return err
+	}
+	arr, err := bgperf.AtUtilization(email, 0.10) // 10% foreground load
+	if err != nil {
+		return err
+	}
+	sol, err := bgperf.Solve(bgperf.Config{
+		Arrival:     arr,
+		ServiceRate: bgperf.ServiceRatePerMs, // 6 ms exponential service
+		BGProb:      0.3,                     // 30% of FG jobs spawn a BG job
+		BGBuffer:    5,                       // ~0.5-1 MB of BG buffer
+		IdleRate:    bgperf.ServiceRatePerMs, // idle wait ≈ one service time
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("E-mail workload at 10% foreground utilization, p = 0.3")
+	fmt.Printf("  foreground queue length        %8.4f jobs\n", sol.QLenFG)
+	fmt.Printf("  foreground response time       %8.4f ms\n", sol.RespTimeFG)
+	fmt.Printf("  foreground jobs delayed by BG  %8.2f %%\n", 100*sol.WaitPFG)
+	fmt.Printf("  background completion rate     %8.2f %%\n", 100*sol.CompBG)
+	fmt.Printf("  background queue length        %8.4f jobs\n", sol.QLenBG)
+	fmt.Printf("  server: fg %.3f / bg %.3f / idle-wait %.3f / empty %.3f\n",
+		sol.UtilFG, sol.UtilBG, sol.ProbIdleWait, sol.ProbEmpty)
+
+	// The distribution queries go beyond the headline averages.
+	dist := sol.FGQueueDist(4)
+	fmt.Println("  P(n foreground jobs in system):")
+	for n, p := range dist {
+		fmt.Printf("    n=%d  %.4f\n", n, p)
+	}
+
+	// Cross-check the analytic answer with the independent simulator.
+	res, err := bgperf.Simulate(bgperf.SimConfig{
+		Arrival:     arr,
+		ServiceRate: bgperf.ServiceRatePerMs,
+		BGProb:      0.3,
+		BGBuffer:    5,
+		IdleRate:    bgperf.ServiceRatePerMs,
+		Seed:        1,
+		WarmupTime:  1e6,
+		MeasureTime: 2e8,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  simulator cross-check: fg qlen %.4f ± %.4f, bg completion %.2f %%\n",
+		res.Metrics.QLenFG, res.QLenFGHalf, 100*res.Metrics.CompBG)
+	return nil
+}

@@ -1,0 +1,3 @@
+module bgperf
+
+go 1.22

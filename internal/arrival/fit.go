@@ -1,0 +1,262 @@
+package arrival
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInfeasibleFit reports descriptor targets no 2-state MMPP can reach.
+var ErrInfeasibleFit = errors.New("arrival: descriptors not reachable by an MMPP(2)")
+
+// FitSpec describes the inter-arrival descriptors an MMPP2 fit must match.
+// This mirrors the paper's moment-matching parameterization (Sec. 3.1): the
+// mean and CV of the trace plus its dependence structure. A 2-state MMPP has
+// four parameters, so (Rate, SCV, ACF1, Decay) determines it (up to numeric
+// tolerance); matching only (Rate, SCV, Decay) leaves the paper's "one degree
+// of freedom".
+type FitSpec struct {
+	// Rate is the mean arrival rate λ (> 0).
+	Rate float64
+	// SCV is the squared coefficient of variation of inter-arrival times
+	// (must exceed 1; an MMPP is strictly more variable than Poisson).
+	SCV float64
+	// ACF1 is the lag-1 autocorrelation of inter-arrival times. Leave it 0
+	// to let the fit imply it from SCV and Decay: the three shape
+	// descriptors of an MMPP(2) are not independent — for slow decay the
+	// lag-1 ACF is pinned near (1−1/SCV)/2 — so an explicit ACF1 is only
+	// reachable in a narrow band and the fit fails otherwise.
+	ACF1 float64
+	// Decay is the geometric decay factor γ of the ACF: ACF(k) = ACF1·γ^(k−1),
+	// in (0, 1). Values near 1 give long-range-dependence-like slow decay.
+	Decay float64
+}
+
+func (s FitSpec) validate() error {
+	switch {
+	case s.Rate <= 0:
+		return fmt.Errorf("%w: rate %g must be positive", ErrInfeasibleFit, s.Rate)
+	case s.SCV <= 1:
+		return fmt.Errorf("%w: scv %g must exceed 1", ErrInfeasibleFit, s.SCV)
+	case s.ACF1 < 0 || s.ACF1 >= 0.5:
+		return fmt.Errorf("%w: acf1 %g must lie in [0, 0.5), with 0 meaning unspecified", ErrInfeasibleFit, s.ACF1)
+	case s.Decay <= 0 || s.Decay >= 1:
+		return fmt.Errorf("%w: decay %g must lie in (0, 1)", ErrInfeasibleFit, s.Decay)
+	}
+	return nil
+}
+
+// FitMMPP2 fits a 2-state MMPP to the descriptors in spec and returns it, or
+// ErrInfeasibleFit when the target combination lies outside the MMPP(2)
+// feasibility region (e.g. ACF1 too large for the requested SCV).
+//
+// The search exploits two exact reductions. First, descriptors other than the
+// rate are invariant under time scaling, so the fit runs with l1 = 1 and
+// rescales afterwards. Second, the ACF decay of an MMPP2 has the closed form
+// γ = l1·l2 / (l1·l2 + l1·v2 + l2·v1), so v2 can be eliminated to match Decay
+// exactly, leaving a 2-D problem in (l2, v1) for (SCV, ACF1) that is solved
+// by a coarse grid plus damped-Newton polish.
+func FitMMPP2(spec FitSpec) (*MAP, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	// With l1 = 1 and decay matched exactly: v2 = l2·(vBudget − v1) where
+	// vBudget = (1−γ)/γ, requiring 0 < v1 < vBudget.
+	vBudget := (1 - spec.Decay) / spec.Decay
+	// θ = (log l2, logit(v1/vBudget)).
+	build := func(theta [2]float64) (*MAP, error) {
+		l2 := math.Exp(theta[0])
+		frac := 1 / (1 + math.Exp(-theta[1]))
+		v1 := frac * vBudget
+		v2 := l2 * (vBudget - v1)
+		return MMPP2(v1, v2, 1, l2)
+	}
+	if spec.ACF1 == 0 {
+		return fitTwoDescriptor(spec, vBudget, build)
+	}
+	residual := func(theta [2]float64) ([2]float64, *MAP, error) {
+		m, err := build(theta)
+		if err != nil {
+			return [2]float64{}, nil, err
+		}
+		return [2]float64{
+			m.SCV() - spec.SCV,
+			m.ACFSeries(1)[0] - spec.ACF1,
+		}, m, nil
+	}
+	norm := func(r [2]float64) float64 {
+		return math.Hypot(r[0]/spec.SCV, r[1]/spec.ACF1)
+	}
+
+	// Stage 1: coarse grid over (l2, v1 fraction).
+	type cand struct {
+		theta [2]float64
+		err   float64
+	}
+	var starts []cand
+	for il := 0; il < 40; il++ {
+		ll2 := math.Log(1e-8) + (math.Log(0.99)-math.Log(1e-8))*float64(il)/39
+		for ifr := 0; ifr < 40; ifr++ {
+			logit := -14 + 28*float64(ifr)/39
+			theta := [2]float64{ll2, logit}
+			r, _, err := residual(theta)
+			if err != nil {
+				continue
+			}
+			starts = append(starts, cand{theta, norm(r)})
+		}
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("%w: empty feasible grid for %+v", ErrInfeasibleFit, spec)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].err < starts[j].err })
+	if len(starts) > 12 {
+		starts = starts[:12]
+	}
+
+	// Stage 2: damped-Newton polish from the best grid points.
+	var best *MAP
+	bestErr := math.Inf(1)
+	for _, start := range starts {
+		theta := start.theta
+		r, m, err := residual(theta)
+		if err != nil {
+			continue
+		}
+		cur := norm(r)
+		for iter := 0; iter < 120 && cur > 1e-12; iter++ {
+			const h = 1e-7
+			var jac [2][2]float64
+			ok := true
+			for j := 0; j < 2; j++ {
+				tp := theta
+				tp[j] += h
+				rp, _, err := residual(tp)
+				if err != nil {
+					ok = false
+					break
+				}
+				for i := 0; i < 2; i++ {
+					jac[i][j] = (rp[i] - r[i]) / h
+				}
+			}
+			if !ok {
+				break
+			}
+			step, ok := solve2(jac, r)
+			if !ok {
+				break
+			}
+			improved := false
+			for damp := 1.0; damp > 1e-8; damp /= 2 {
+				tn := theta
+				for j := 0; j < 2; j++ {
+					tn[j] -= damp * step[j]
+				}
+				rn, mn, err := residual(tn)
+				if err != nil {
+					continue
+				}
+				if n := norm(rn); n < cur {
+					theta, r, m, cur = tn, rn, mn, n
+					improved = true
+					break
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if cur < bestErr && m != nil {
+			bestErr, best = cur, m
+			if bestErr < 1e-9 {
+				break
+			}
+		}
+	}
+	if best == nil || bestErr > 1e-4 {
+		return nil, fmt.Errorf("%w: best residual %.3g for %+v", ErrInfeasibleFit, bestErr, spec)
+	}
+	return best.WithRate(spec.Rate)
+}
+
+// fitTwoDescriptor matches (Rate, SCV) with Decay already pinned exactly by
+// the v2 elimination. The residual SCV is monotone along log l2 for a fixed
+// modulation split, so a bracket scan plus bisection suffices; several splits
+// are tried because extreme splits shrink the reachable SCV range.
+func fitTwoDescriptor(spec FitSpec, vBudget float64, build func([2]float64) (*MAP, error)) (*MAP, error) {
+	logits := []float64{0, -2.2, 2.2, -4.6, 4.6, -8, 8}
+	for _, logit := range logits {
+		scvAt := func(ll2 float64) (float64, bool) {
+			m, err := build([2]float64{ll2, logit})
+			if err != nil {
+				return 0, false
+			}
+			return m.SCV(), true
+		}
+		// Scan for a sign change of SCV(l2) − target.
+		const n = 120
+		lo, hi := math.Log(1e-12), math.Log(0.999)
+		prevX := math.NaN()
+		prevF := 0.0
+		var bracketLo, bracketHi float64
+		found := false
+		for i := 0; i <= n; i++ {
+			x := lo + (hi-lo)*float64(i)/n
+			s, ok := scvAt(x)
+			if !ok {
+				continue
+			}
+			f := s - spec.SCV
+			if !math.IsNaN(prevX) && f*prevF <= 0 {
+				bracketLo, bracketHi = prevX, x
+				found = true
+				break
+			}
+			prevX, prevF = x, f
+		}
+		if !found {
+			continue
+		}
+		fLo, _ := scvAt(bracketLo)
+		for iter := 0; iter < 200; iter++ {
+			mid := (bracketLo + bracketHi) / 2
+			s, ok := scvAt(mid)
+			if !ok {
+				break
+			}
+			if (s-spec.SCV)*(fLo-spec.SCV) > 0 {
+				bracketLo, fLo = mid, s
+			} else {
+				bracketHi = mid
+			}
+		}
+		m, err := build([2]float64{(bracketLo + bracketHi) / 2, logit})
+		if err != nil {
+			continue
+		}
+		if math.Abs(m.SCV()-spec.SCV) > 1e-4*spec.SCV {
+			continue
+		}
+		return m.WithRate(spec.Rate)
+	}
+	return nil, fmt.Errorf("%w: no (SCV=%g, decay=%g) MMPP2 found", ErrInfeasibleFit, spec.SCV, spec.Decay)
+}
+
+// solve2 solves the 2×2 linear system J·x = r; ok is false when J is
+// singular or the solution is non-finite.
+func solve2(j [2][2]float64, r [2]float64) (x [2]float64, ok bool) {
+	det := j[0][0]*j[1][1] - j[0][1]*j[1][0]
+	if det == 0 {
+		return x, false
+	}
+	x[0] = (r[0]*j[1][1] - r[1]*j[0][1]) / det
+	x[1] = (j[0][0]*r[1] - j[1][0]*r[0]) / det
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return x, false
+		}
+	}
+	return x, true
+}

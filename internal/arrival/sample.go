@@ -1,0 +1,109 @@
+package arrival
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws inter-arrival times from a MAP by simulating its underlying
+// phase process. It is the bridge between the analytic workload models and
+// the event simulator / trace generator. A Sampler is not safe for concurrent
+// use; create one per goroutine.
+type Sampler struct {
+	m   *MAP
+	rng *rand.Rand
+
+	phase     int
+	exitRates []float64
+	// Per-phase cumulative transition tables: first the D0 off-diagonal
+	// targets (no arrival), then the D1 targets (arrival).
+	cumProb [][]float64
+	target  [][]int
+	arrival [][]bool
+}
+
+// NewSampler returns a sampler for m seeded deterministically by seed. The
+// initial phase is drawn from the time-stationary distribution so the
+// generated sequence starts in steady state.
+func NewSampler(m *MAP, seed int64) *Sampler {
+	s := &Sampler{m: m, rng: rand.New(rand.NewSource(seed))}
+	n := m.Order()
+	s.exitRates = make([]float64, n)
+	s.cumProb = make([][]float64, n)
+	s.target = make([][]int, n)
+	s.arrival = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		exit := -m.d0.At(i, i)
+		s.exitRates[i] = exit
+		var probs []float64
+		var targets []int
+		var arrivals []bool
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			if j != i && m.d0.At(i, j) > 0 {
+				acc += m.d0.At(i, j) / exit
+				probs = append(probs, acc)
+				targets = append(targets, j)
+				arrivals = append(arrivals, false)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if m.d1.At(i, j) > 0 {
+				acc += m.d1.At(i, j) / exit
+				probs = append(probs, acc)
+				targets = append(targets, j)
+				arrivals = append(arrivals, true)
+			}
+		}
+		s.cumProb[i] = probs
+		s.target[i] = targets
+		s.arrival[i] = arrivals
+	}
+	s.phase = s.drawStationaryPhase()
+	return s
+}
+
+func (s *Sampler) drawStationaryPhase() int {
+	u := s.rng.Float64()
+	acc := 0.0
+	for i, p := range s.m.pi {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return s.m.Order() - 1
+}
+
+// Phase returns the current phase of the modulating chain.
+func (s *Sampler) Phase() int { return s.phase }
+
+// Next returns the time until the next arrival, advancing the phase process.
+func (s *Sampler) Next() float64 {
+	var t float64
+	for {
+		i := s.phase
+		t += s.exp(s.exitRates[i])
+		u := s.rng.Float64()
+		probs := s.cumProb[i]
+		k := len(probs) - 1
+		for idx, p := range probs {
+			if u < p {
+				k = idx
+				break
+			}
+		}
+		s.phase = s.target[i][k]
+		if s.arrival[i][k] {
+			return t
+		}
+	}
+}
+
+// exp draws an exponential variate with the given rate.
+func (s *Sampler) exp(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-s.rng.Float64()) / rate
+}

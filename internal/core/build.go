@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"bgperf/internal/mat"
+	"bgperf/internal/qbd"
+)
+
+// trans is one emitted block transition: from block fromIdx of some level to
+// block toIdx of level+dLevel, with a composite (A·S)×(A·S) rate matrix.
+type trans struct {
+	dLevel  int // −1, 0, +1
+	fromIdx int
+	toIdx   int
+	rate    *mat.Matrix
+}
+
+// scaled returns rate·base as a fresh matrix, or nil when rate is zero.
+func scaled(base *mat.Matrix, rate float64) *mat.Matrix {
+	if rate == 0 {
+		return nil
+	}
+	return base.Clone().Scale(rate)
+}
+
+// downTargetAfterFGCompletion classifies the state reached when an FG job
+// leaves behind x BG jobs and yLeft FG jobs.
+func downTargetAfterFGCompletion(x, yLeft int) block {
+	if yLeft >= 1 {
+		return block{kind: KindFG, x: x}
+	}
+	if x == 0 {
+		return block{kind: KindEmpty}
+	}
+	return block{kind: KindIdle, x: x}
+}
+
+// completionRate returns the composite-rate matrix for a service completion
+// leading into the given target block, scaled by prob: a completion that
+// starts another service (FG or BG target) resets the service phase with
+// t·β; one that empties the system parks the stage with t·e₀; one that
+// arms the idle-wait timer additionally resets the idle stage to κ.
+func (m *Model) completionRate(to block, prob float64) *mat.Matrix {
+	switch to.kind {
+	case KindFG, KindBG:
+		return scaled(m.complServe, prob)
+	case KindIdle:
+		return scaled(m.complStopIdle, prob)
+	default:
+		return scaled(m.complStopEmpty, prob)
+	}
+}
+
+// transitionsFrom emits every off-diagonal block transition out of the given
+// level, encoding the chain of the paper's Fig. 3/4 (with the service
+// dimension of footnote 3 folded into the composite phases).
+func (m *Model) transitionsFrom(level int) []trans {
+	var (
+		cfg = m.cfg
+		p   = cfg.BGProb
+		x   = m.xEff
+		out []trans
+	)
+	emit := func(from block, dLevel int, to block, rate *mat.Matrix) {
+		if rate == nil {
+			return
+		}
+		fromIdx := m.blockIndex(level, from)
+		toIdx := m.blockIndex(level+dLevel, to)
+		if fromIdx < 0 || toIdx < 0 {
+			panic(fmt.Sprintf("core: unmapped transition level %d %+v -> %+v", level, from, to))
+		}
+		out = append(out, trans{dLevel: dLevel, fromIdx: fromIdx, toIdx: toIdx, rate: rate})
+	}
+	for _, b := range m.levelBlocks(level) {
+		y := level - b.x // FG jobs in system (0 for Empty/Idle by construction)
+		switch b.kind {
+		case KindEmpty:
+			emit(b, +1, block{kind: KindFG, x: 0}, m.fStart)
+			emit(b, 0, b, m.lServe)
+
+		case KindFG:
+			emit(b, +1, block{kind: KindFG, x: b.x}, m.fServe)
+			emit(b, 0, b, m.lServe)
+			emit(b, 0, b, m.tOff)
+			// Completion without BG generation.
+			to := downTargetAfterFGCompletion(b.x, y-1)
+			emit(b, -1, to, m.completionRate(to, 1-p))
+			if p > 0 {
+				if b.x < x {
+					// BG admitted: FG leaves, BG joins — same level.
+					to := block{kind: KindFG, x: b.x + 1}
+					if y-1 == 0 {
+						to = block{kind: KindIdle, x: b.x + 1}
+					}
+					emit(b, 0, to, m.completionRate(to, p))
+				} else {
+					// Buffer full: the generated BG job is dropped.
+					to := downTargetAfterFGCompletion(b.x, y-1)
+					emit(b, -1, to, m.completionRate(to, p))
+				}
+			}
+
+		case KindBG:
+			emit(b, +1, block{kind: KindBG, x: b.x}, m.fServe)
+			emit(b, 0, b, m.lServe)
+			emit(b, 0, b, m.tOff)
+			if y >= 1 {
+				// BG completes with FG waiting: an FG job starts service.
+				to := block{kind: KindFG, x: b.x - 1}
+				emit(b, -1, to, m.completionRate(to, 1))
+			} else {
+				// BG completes with the system otherwise empty.
+				var to block
+				switch {
+				case b.x-1 == 0:
+					to = block{kind: KindEmpty}
+				case cfg.IdlePolicy == IdleWaitPerPeriod:
+					to = block{kind: KindBG, x: b.x - 1}
+				default: // IdleWaitPerJob
+					to = block{kind: KindIdle, x: b.x - 1}
+				}
+				emit(b, -1, to, m.completionRate(to, 1))
+			}
+
+		case KindIdle:
+			// An arriving FG job seizes the idle server immediately,
+			// abandoning the idle timer.
+			emit(b, +1, block{kind: KindFG, x: b.x}, m.fStart)
+			emit(b, 0, b, m.lIdle)
+			emit(b, 0, b, m.vOff)
+			// Idle wait expires: a BG job starts service.
+			emit(b, 0, block{kind: KindBG, x: b.x}, m.idleGo)
+		}
+	}
+	return out
+}
+
+// levelMatrices assembles (Down, Local, Up) for one level from the emitted
+// transitions, with the Local diagonal left at zero (fixed globally later).
+func (m *Model) levelMatrices(level int) (down, local, up *mat.Matrix) {
+	nHere := m.levelStates(level)
+	local = mat.New(nHere, nHere)
+	up = mat.New(nHere, m.levelStates(level+1))
+	if level > 0 {
+		down = mat.New(nHere, m.levelStates(level-1))
+	}
+	a := m.Phases()
+	for _, tr := range m.transitionsFrom(level) {
+		var dst *mat.Matrix
+		switch tr.dLevel {
+		case -1:
+			dst = down
+		case 0:
+			dst = local
+		case +1:
+			dst = up
+		}
+		ro, co := tr.fromIdx*a, tr.toIdx*a
+		for i := 0; i < a; i++ {
+			for j := 0; j < a; j++ {
+				if v := tr.rate.At(i, j); v != 0 {
+					dst.Add(ro+i, co+j, v)
+				}
+			}
+		}
+	}
+	return down, local, up
+}
+
+// fixDiagonal sets local's diagonal so every global row sums to zero.
+func fixDiagonal(local *mat.Matrix, others ...*mat.Matrix) {
+	n := local.Rows()
+	for i := 0; i < n; i++ {
+		var sum float64
+		sum += mat.Sum(local.Row(i))
+		for _, o := range others {
+			if o != nil {
+				sum += mat.Sum(o.Row(i))
+			}
+		}
+		local.Add(i, i, -sum)
+	}
+}
+
+// qbdBlocks builds the boundary (levels 0..X) and repeating (levels > X)
+// blocks of the chain.
+func (m *Model) qbdBlocks() (qbd.Boundary, *qbd.Process, error) {
+	x := m.xEff
+	boundary := qbd.Boundary{
+		Local: make([]*mat.Matrix, x+1),
+		Up:    make([]*mat.Matrix, x+1),
+		Down:  make([]*mat.Matrix, x+1),
+	}
+	for j := 0; j <= x; j++ {
+		down, local, up := m.levelMatrices(j)
+		fixDiagonal(local, up, down)
+		boundary.Local[j] = local
+		boundary.Up[j] = up
+		boundary.Down[j] = down
+	}
+	// Transitions from the first repeating level (X+1) down into the last
+	// boundary level differ structurally from the homogeneous A2 (they can
+	// enter idle-wait states), so they are built explicitly.
+	repDown, _, _ := m.levelMatrices(x + 1)
+	boundary.RepDown = repDown
+
+	// The repeating blocks are built at virtual level X+2, where both
+	// neighbouring levels already have the repeating layout.
+	a2, a1, a0 := m.levelMatrices(x + 2)
+	fixDiagonal(a1, a0, a2)
+	proc, err := qbd.New(a0, a1, a2)
+	if err != nil {
+		return qbd.Boundary{}, nil, fmt.Errorf("core: assembling QBD: %w", err)
+	}
+	return boundary, proc, nil
+}
+
+// Generator builds the truncated global generator covering levels
+// 0..maxLevel, with down-only truncation at the top (the top level keeps its
+// true diagonal minus up-rates, so row sums are zero). Intended for tests and
+// brute-force validation on small instances.
+func (m *Model) Generator(maxLevel int) *mat.Matrix {
+	offsets := make([]int, maxLevel+1)
+	total := 0
+	for j := 0; j <= maxLevel; j++ {
+		offsets[j] = total
+		total += m.levelStates(j)
+	}
+	g := mat.New(total, total)
+	a := m.Phases()
+	for j := 0; j <= maxLevel; j++ {
+		for _, tr := range m.transitionsFrom(j) {
+			if j+tr.dLevel > maxLevel || j+tr.dLevel < 0 {
+				continue
+			}
+			ro := offsets[j] + tr.fromIdx*a
+			co := offsets[j+tr.dLevel] + tr.toIdx*a
+			for i := 0; i < a; i++ {
+				for k := 0; k < a; k++ {
+					if v := tr.rate.At(i, k); v != 0 {
+						g.Add(ro+i, co+k, v)
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < total; i++ {
+		g.Add(i, i, -mat.Sum(g.Row(i)))
+	}
+	return g
+}
+
+// matSpectralRadius estimates the spectral radius of a nonnegative matrix.
+func matSpectralRadius(r *mat.Matrix) float64 {
+	return mat.SpectralRadius(r, 1e-12, 10000)
+}

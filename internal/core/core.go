@@ -1,0 +1,470 @@
+// Package core implements the paper's primary contribution: the analytic
+// performability model of a storage system serving foreground (FG) user
+// requests and best-effort background (BG) jobs (DSN 2006, Sec. 3–4).
+//
+// The system is a single non-preemptive FCFS server with exponential service
+// (rate µ). FG jobs arrive according to a MAP (the paper uses 2-state MMPPs
+// fitted to disk traces). Each FG completion generates a BG job with
+// probability p. BG jobs occupy a finite buffer of size X and are served only
+// while no FG job is present, after an exponentially distributed idle wait
+// (rate α); a BG job generated while the buffer is full is dropped. Neither
+// class preempts the other — the disk-seek argument of the paper.
+//
+// The resulting Markov chain, levelled by the total job count x+y, is a
+// Quasi-Birth-Death process with X+1 boundary levels; package qbd solves it
+// with the matrix-geometric method, and Solution exposes the paper's four
+// metrics (FG queue length, FG-delayed percentage, BG completion rate, BG
+// queue length) plus supporting rates and distributions.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/mat"
+	"bgperf/internal/phtype"
+)
+
+// ErrConfig reports an invalid model configuration.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// IdleWaitPolicy selects when the server re-arms the idle-wait timer.
+type IdleWaitPolicy int
+
+const (
+	// IdleWaitPerJob re-arms the idle-wait timer after every completed BG
+	// job: each BG service during an idle period is preceded by a fresh
+	// exponential wait. This matches the symmetric (x,0)/(x',0) state pairs
+	// of the paper's chain and is the default.
+	IdleWaitPerJob IdleWaitPolicy = iota + 1
+	// IdleWaitPerPeriod waits once per idle period and then drains BG jobs
+	// back to back until an FG job arrives.
+	IdleWaitPerPeriod
+)
+
+func (p IdleWaitPolicy) String() string {
+	switch p {
+	case IdleWaitPerJob:
+		return "per-job"
+	case IdleWaitPerPeriod:
+		return "per-period"
+	default:
+		return fmt.Sprintf("IdleWaitPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes the FG/BG model.
+type Config struct {
+	// Arrival is the FG arrival process (MMPP in the paper).
+	Arrival *arrival.MAP
+	// ServiceRate is µ, the exponential service rate shared by FG and BG
+	// jobs (the paper studies BG work such as WRITE verification whose
+	// demands match FG demands). Leave it 0 when Service is set.
+	ServiceRate float64
+	// Service optionally replaces the exponential service law with a
+	// phase-type distribution (the paper's footnote 3 extension, built with
+	// Kronecker products). When set, ServiceRate must be 0 — the mean rate
+	// is implied. The PH representation must have every phase reachable
+	// from the support of its initial vector.
+	Service *phtype.Dist
+	// ServiceMAP optionally makes service times a Markovian Arrival
+	// Process: consecutive service times are *correlated* (disk locality
+	// streaks), with the service phase carried from job to job and frozen
+	// while the server is not serving. Mutually exclusive with ServiceRate
+	// and Service.
+	ServiceMAP *arrival.MAP
+	// BGProb is p, the probability that a completing FG job generates a BG
+	// job, in [0, 1].
+	BGProb float64
+	// BGBuffer is X, the BG buffer capacity (paper default 5). X = 0 models
+	// a system that drops all BG work.
+	BGBuffer int
+	// IdleRate is α, the rate of the exponential idle wait before BG
+	// service begins (paper default: 1/mean service time). Required
+	// positive when BGBuffer > 0, unless IdleWait is set.
+	IdleRate float64
+	// IdleWait optionally replaces the exponential idle wait with a
+	// phase-type distribution (the remaining footnote-3 generalization;
+	// e.g. an Erlang-k approximates the deterministic timers of real
+	// firmware). When set, IdleRate must be 0.
+	IdleWait *phtype.Dist
+	// IdlePolicy selects the idle-wait re-arming semantics; zero value
+	// means IdleWaitPerJob.
+	IdlePolicy IdleWaitPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdlePolicy == 0 {
+		c.IdlePolicy = IdleWaitPerJob
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Arrival == nil:
+		return fmt.Errorf("%w: nil arrival process", ErrConfig)
+	case c.Service == nil && c.ServiceMAP == nil && c.ServiceRate <= 0:
+		return fmt.Errorf("%w: service rate %g must be positive", ErrConfig, c.ServiceRate)
+	case c.Service != nil && (c.ServiceRate != 0 || c.ServiceMAP != nil):
+		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+	case c.ServiceMAP != nil && c.ServiceRate != 0:
+		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+	case c.BGProb < 0 || c.BGProb > 1:
+		return fmt.Errorf("%w: BG probability %g must lie in [0,1]", ErrConfig, c.BGProb)
+	case c.BGBuffer < 0:
+		return fmt.Errorf("%w: BG buffer %d must be nonnegative", ErrConfig, c.BGBuffer)
+	case c.IdleWait != nil && c.IdleRate != 0:
+		return fmt.Errorf("%w: set either IdleRate or IdleWait, not both", ErrConfig)
+	case c.BGBuffer > 0 && c.IdleRate <= 0 && c.IdleWait == nil:
+		return fmt.Errorf("%w: idle rate %g must be positive when the BG buffer is nonempty", ErrConfig, c.IdleRate)
+	case c.IdlePolicy != IdleWaitPerJob && c.IdlePolicy != IdleWaitPerPeriod:
+		return fmt.Errorf("%w: unknown idle-wait policy %d", ErrConfig, int(c.IdlePolicy))
+	}
+	return nil
+}
+
+// Kind classifies the server condition of a chain state.
+type Kind int
+
+const (
+	// KindEmpty is the empty system (no jobs at all).
+	KindEmpty Kind = iota + 1
+	// KindFG is a state with a foreground job in service.
+	KindFG
+	// KindBG is a state with a background job in service.
+	KindBG
+	// KindIdle is an idle-wait state: BG jobs present, server idle, timer
+	// running.
+	KindIdle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEmpty:
+		return "empty"
+	case KindFG:
+		return "fg-serving"
+	case KindBG:
+		return "bg-serving"
+	case KindIdle:
+		return "idle-wait"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// block identifies one group of MAP phases within a level: the paper's
+// (x,y) / (x',y) / idle-wait states. The FG count y is implied by the level:
+// y = level − x.
+type block struct {
+	kind Kind
+	x    int // BG jobs in system (waiting or in service)
+}
+
+// Model is a validated, solvable instance of the FG/BG chain. Each chain
+// state carries a composite phase (arrival phase, service stage); with the
+// default exponential service the service dimension is 1 and the chain is
+// exactly the paper's.
+type Model struct {
+	cfg Config
+
+	aPhases int          // arrival (MAP) order A
+	sPhases int          // service order S (PH phases or service-MAP phases)
+	wPhases int          // idle-wait (PH) order W
+	svc     *phtype.Dist // nil when ServiceMAP drives the service process
+	svcMAP  *arrival.MAP // nil unless ServiceMAP is set
+	idle    *phtype.Dist // nil when the buffer never idles (BGBuffer = 0)
+	mu      float64      // mean service rate 1/E[S]
+
+	// Composite transition blocks of dimension A·S·W, built once with
+	// Kronecker products (the paper's footnote 3 construction). The service
+	// stage is parked at 0 in non-serving states, the idle stage at 0 in
+	// non-idle-wait states.
+	// Every transition out of a non-idle block collapses the idle stage to
+	// 0 (1e₀ on the W factor): the stage is meaningless there, and keeping
+	// it would clone the repeating chain into W disconnected copies.
+	fServe         *mat.Matrix // F ⊗ I_S ⊗ 1e₀: arrival while a job is in service
+	fStart         *mat.Matrix // F ⊗ 1β ⊗ 1e₀: arrival that begins a service (empty or idle-wait origin)
+	lServe         *mat.Matrix // L ⊗ I_S ⊗ 1e₀: arrival-phase moves outside idle waits
+	lIdle          *mat.Matrix // L ⊗ I_S ⊗ I_W: arrival-phase moves during an idle wait
+	tOff           *mat.Matrix // I_A ⊗ offdiag(T) ⊗ 1e₀: service-stage moves
+	complServe     *mat.Matrix // I_A ⊗ tβ ⊗ 1e₀: completion, next service starts
+	complStopEmpty *mat.Matrix // I_A ⊗ t e₀ ⊗ 1e₀: completion emptying the system
+	complStopIdle  *mat.Matrix // I_A ⊗ t e₀ ⊗ 1κ: completion arming the idle timer
+	vOff           *mat.Matrix // I_A ⊗ I_S ⊗ offdiag(V): idle-stage moves
+	idleGo         *mat.Matrix // I_A ⊗ 1β ⊗ v e₀: idle expiry starts BG service
+
+	rateVec []float64 // per-composite-state arrival rates (D1 row sums)
+	exitVec []float64 // per-composite-state service completion rates
+
+	// xEff is the buffer size used for state-space construction: it equals
+	// cfg.BGBuffer except when BGProb = 0, where BG and idle-wait states are
+	// unreachable and are pruned to keep the phase process irreducible.
+	xEff int
+}
+
+// NewModel validates cfg and prepares the chain builder.
+func NewModel(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	svc := cfg.Service
+	if svc == nil && cfg.ServiceMAP == nil {
+		var err error
+		svc, err = phtype.Exponential(cfg.ServiceRate)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	} else if svc != nil {
+		if err := checkPHReachable(svc); err != nil {
+			return nil, err
+		}
+	}
+	idle := cfg.IdleWait
+	if idle == nil && cfg.IdleRate > 0 {
+		var err error
+		idle, err = phtype.Exponential(cfg.IdleRate)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	}
+	if idle != nil {
+		if err := checkPHReachable(idle); err != nil {
+			return nil, err
+		}
+	}
+
+	d0 := cfg.Arrival.D0()
+	a := d0.Rows()
+	lArr := mat.New(a, a)
+	for i := 0; i < a; i++ {
+		for j := 0; j < a; j++ {
+			if i != j {
+				lArr.Set(i, j, d0.At(i, j))
+			}
+		}
+	}
+	f := cfg.Arrival.D1()
+	// Service kernels on the S dimension, covering both service laws:
+	//   stage moves  — within-service phase transitions (no completion)
+	//   complServe/S — completion when another service starts immediately
+	//   complStop/S  — completion into a non-serving state
+	//   start/S      — how a fresh service sets the stage
+	// PH(β, T): completions exit via t = −T·1 and restart in β; the stage is
+	// parked at 0 while not serving. MAP (S0, S1): completions follow S1 and
+	// the stage is FROZEN (preserved) while not serving.
+	var (
+		sN                                     int
+		tOffS, complServeS, complStopS, startS *mat.Matrix
+		exit                                   []float64
+		svcRate                                float64
+	)
+	if cfg.ServiceMAP != nil {
+		sMAP := cfg.ServiceMAP
+		sN = sMAP.Order()
+		s0 := sMAP.D0()
+		s1 := sMAP.D1()
+		tOffS = mat.New(sN, sN)
+		for i := 0; i < sN; i++ {
+			for j := 0; j < sN; j++ {
+				if i != j {
+					tOffS.Set(i, j, s0.At(i, j))
+				}
+			}
+		}
+		complServeS = s1
+		complStopS = s1
+		startS = mat.Identity(sN)
+		exit = s1.RowSums()
+		svcRate = sMAP.Rate()
+	} else {
+		sN = svc.Order()
+		tm := svc.T()
+		tOffS = mat.New(sN, sN)
+		for i := 0; i < sN; i++ {
+			for j := 0; j < sN; j++ {
+				if i != j {
+					tOffS.Set(i, j, tm.At(i, j))
+				}
+			}
+		}
+		beta := svc.Beta()
+		exit = svc.ExitRates()
+		complServeS = mat.New(sN, sN)
+		complStopS = mat.New(sN, sN)
+		startS = mat.New(sN, sN)
+		for i := 0; i < sN; i++ {
+			for j := 0; j < sN; j++ {
+				startS.Set(i, j, beta[j])
+				complServeS.Set(i, j, exit[i]*beta[j])
+			}
+			complStopS.Set(i, 0, exit[i])
+		}
+		svcRate = svc.Rate()
+	}
+	wN := 1
+	if idle != nil {
+		wN = idle.Order()
+	}
+	var (
+		iS = mat.Identity(sN)
+		iA = mat.Identity(a)
+		iW = mat.Identity(wN)
+		// Idle-wait building blocks on the W dimension.
+		oneKappa = mat.New(wN, wN) // reset the idle stage to κ
+		collapse = mat.New(wN, wN) // abandon the idle timer (park at 0)
+		vStop    = mat.New(wN, wN) // expire from stage w at rate v_w, park at 0
+		vOffW    = mat.New(wN, wN) // idle-stage moves
+	)
+	for i := 0; i < wN; i++ {
+		collapse.Set(i, 0, 1)
+	}
+	if idle != nil {
+		kappa := idle.Beta()
+		vExit := idle.ExitRates()
+		vT := idle.T()
+		for i := 0; i < wN; i++ {
+			for j := 0; j < wN; j++ {
+				oneKappa.Set(i, j, kappa[j])
+				if i != j {
+					vOffW.Set(i, j, vT.At(i, j))
+				}
+			}
+			vStop.Set(i, 0, vExit[i])
+		}
+	}
+
+	xEff := cfg.BGBuffer
+	if cfg.BGProb == 0 {
+		xEff = 0
+	}
+	m := &Model{
+		cfg:            cfg,
+		aPhases:        a,
+		sPhases:        sN,
+		wPhases:        wN,
+		svc:            svc,
+		svcMAP:         cfg.ServiceMAP,
+		idle:           idle,
+		mu:             svcRate,
+		fServe:         f.Kron(iS).Kron(collapse),
+		fStart:         f.Kron(startS).Kron(collapse),
+		lServe:         lArr.Kron(iS).Kron(collapse),
+		lIdle:          lArr.Kron(iS).Kron(iW),
+		tOff:           iA.Kron(tOffS).Kron(collapse),
+		complServe:     iA.Kron(complServeS).Kron(collapse),
+		complStopEmpty: iA.Kron(complStopS).Kron(collapse),
+		complStopIdle:  iA.Kron(complStopS).Kron(oneKappa),
+		xEff:           xEff,
+	}
+	if idle != nil {
+		m.vOff = iA.Kron(iS).Kron(vOffW)
+		m.idleGo = iA.Kron(startS).Kron(vStop)
+	}
+	dim := a * sN * wN
+	m.rateVec = make([]float64, dim)
+	m.exitVec = make([]float64, dim)
+	arrRates := f.RowSums()
+	for ai := 0; ai < a; ai++ {
+		for si := 0; si < sN; si++ {
+			for wi := 0; wi < wN; wi++ {
+				idx := (ai*sN+si)*wN + wi
+				m.rateVec[idx] = arrRates[ai]
+				m.exitVec[idx] = exit[si]
+			}
+		}
+	}
+	return m, nil
+}
+
+// checkPHReachable verifies every service phase is reachable from the
+// support of β through T, which the chain construction requires for an
+// irreducible phase process.
+func checkPHReachable(d *phtype.Dist) error {
+	s := d.Order()
+	t := d.T()
+	reached := make([]bool, s)
+	var stack []int
+	for i, b := range d.Beta() {
+		if b > 0 {
+			reached[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < s; j++ {
+			if j != i && !reached[j] && t.At(i, j) > 0 {
+				reached[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	for i, ok := range reached {
+		if !ok {
+			return fmt.Errorf("%w: service phase %d unreachable from β (trim the representation)", ErrConfig, i)
+		}
+	}
+	return nil
+}
+
+// Config returns the model configuration (with defaults applied).
+func (m *Model) Config() Config { return m.cfg }
+
+// Phases returns the composite phase count per block: the MAP order times
+// the service-PH order times the idle-wait-PH order (the PH orders are 1
+// for the default exponential laws).
+func (m *Model) Phases() int { return m.aPhases * m.sPhases * m.wPhases }
+
+// ServiceRate returns the effective mean service rate µ.
+func (m *Model) ServiceRate() float64 { return m.mu }
+
+// FGUtilization returns the offered foreground load ρ = λ/µ.
+func (m *Model) FGUtilization() float64 {
+	return m.cfg.Arrival.Rate() / m.mu
+}
+
+// levelBlocks enumerates the blocks of one level in the paper's π order:
+// (0,j), then (x,j−x) and (x',j−x) for growing x, ending at boundary levels
+// with the idle-wait pair (j,0), (j',0).
+func (m *Model) levelBlocks(level int) []block {
+	x := m.xEff
+	if level == 0 {
+		return []block{{kind: KindEmpty}}
+	}
+	var blocks []block
+	if level <= x {
+		blocks = make([]block, 0, 2*level+1)
+		blocks = append(blocks, block{kind: KindFG, x: 0})
+		for i := 1; i < level; i++ {
+			blocks = append(blocks, block{kind: KindFG, x: i}, block{kind: KindBG, x: i})
+		}
+		blocks = append(blocks, block{kind: KindIdle, x: level}, block{kind: KindBG, x: level})
+		return blocks
+	}
+	blocks = make([]block, 0, 2*x+1)
+	blocks = append(blocks, block{kind: KindFG, x: 0})
+	for i := 1; i <= x; i++ {
+		blocks = append(blocks, block{kind: KindFG, x: i}, block{kind: KindBG, x: i})
+	}
+	return blocks
+}
+
+// blockIndex returns the position of a block within its level, or −1.
+func (m *Model) blockIndex(level int, b block) int {
+	for i, cand := range m.levelBlocks(level) {
+		if cand == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// levelStates returns the number of chain states in one level.
+func (m *Model) levelStates(level int) int {
+	return len(m.levelBlocks(level)) * m.Phases()
+}

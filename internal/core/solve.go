@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bgperf/internal/qbd"
+)
+
+// Metrics bundles the steady-state quantities the paper reports, plus the
+// supporting rates needed to reason about them. All probabilities are
+// time-stationary unless stated otherwise.
+type Metrics struct {
+	// QLenFG is the average number of foreground jobs in the system
+	// (waiting or in service) — paper Fig. 5/9/11.
+	QLenFG float64 `json:"qlenFG"`
+	// QLenBG is the average number of background jobs in the system —
+	// paper Fig. 8.
+	QLenBG float64 `json:"qlenBG"`
+	// CompBG is the completion (admission) rate of background jobs: the
+	// fraction of generated BG jobs that are not dropped at a full buffer —
+	// paper Fig. 7/10/12. When BGProb = 0 no BG jobs exist and CompBG is 1.
+	CompBG float64 `json:"compBG"`
+	// WaitPFG is the fraction of foreground jobs delayed by a background
+	// job, i.e. arriving while a BG job holds the non-preemptive server —
+	// paper Fig. 6/13. Arrivals are weighted by the per-phase MAP rate, not
+	// by time (MMPP arrivals do not see time averages).
+	WaitPFG float64 `json:"waitPFG"`
+
+	// UtilFG is the probability a foreground job is in service; in steady
+	// state it equals λ/µ.
+	UtilFG float64 `json:"utilFG"`
+	// UtilBG is the probability a background job is in service.
+	UtilBG float64 `json:"utilBG"`
+	// ProbIdleWait is the probability of an idle-wait state (BG work
+	// pending, server idle, timer running).
+	ProbIdleWait float64 `json:"probIdleWait"`
+	// ProbEmpty is the probability of the empty system.
+	ProbEmpty float64 `json:"probEmpty"`
+
+	// ThroughputFG is the foreground completion rate µ·P(FG serving) = λ.
+	ThroughputFG float64 `json:"throughputFG"`
+	// ThroughputBG is the background completion rate µ·P(BG serving).
+	ThroughputBG float64 `json:"throughputBG"`
+	// GenRateBG is the generation rate of background jobs, µ·p·P(FG serving).
+	GenRateBG float64 `json:"genRateBG"`
+	// DropRateBG is the rate at which generated BG jobs are dropped.
+	DropRateBG float64 `json:"dropRateBG"`
+	// RespTimeFG is the mean foreground response time by Little's law.
+	RespTimeFG float64 `json:"respTimeFG"`
+	// RespTimeBG is the mean sojourn time of admitted background jobs
+	// (admission to completion), by Little's law over the BG population.
+	RespTimeBG float64 `json:"respTimeBG"`
+}
+
+// Solution is a solved model: the metrics plus access to the underlying
+// stationary distribution for finer-grained queries.
+type Solution struct {
+	Metrics
+
+	model *Model
+	sol   *qbd.Solution
+
+	repBlocks []block
+}
+
+// Solve builds the QBD, computes its stationary distribution, and assembles
+// the metrics. It returns qbd.ErrUnstable when the offered foreground load
+// (plus the portion of background work the system admits) saturates the
+// server.
+func (m *Model) Solve() (*Solution, error) {
+	boundary, proc, err := m.qbdBlocks()
+	if err != nil {
+		return nil, err
+	}
+	qsol, err := qbd.Solve(boundary, proc)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.xEff + 1)}
+	s.computeMetrics()
+	return s, nil
+}
+
+// maskedMass sums stationary probability over states selected by keep,
+// weighting each state's phase mass by weight (per state) — the workhorse
+// behind every metric. keep receives the block and the level's FG count; the
+// weight receives the same plus the phase index.
+func (s *Solution) maskedMass(keep func(b block, level int) bool, weight func(b block, level, phase int) float64) float64 {
+	m := s.model
+	a := m.Phases()
+	total := 0.0
+	// Boundary levels 0..X.
+	for j := 0; j <= m.xEff; j++ {
+		pi := s.sol.BoundaryPi[j]
+		for bi, b := range m.levelBlocks(j) {
+			if !keep(b, j) {
+				continue
+			}
+			for ph := 0; ph < a; ph++ {
+				total += pi[bi*a+ph] * weight(b, j, ph)
+			}
+		}
+	}
+	// Geometric tail: levels X+1, X+2, … Weights polynomial in the level
+	// (degree ≤ 2) are folded exactly via the closed-form tail moments: the
+	// quadratic coefficients are recovered per block/phase by probing the
+	// weight at three consecutive levels.
+	first := s.sol.FirstRepLevel()
+	tail := s.sol.TailSum()
+	tailW := s.sol.TailWeightedSum()
+	tailW2 := s.sol.TailSquareWeightedSum()
+	for bi, b := range s.repBlocks {
+		if !keep(b, first) || !keep(b, first+1) {
+			// Keeps must be level-uniform over repeating levels; every
+			// metric predicate used here qualifies.
+			if keep(b, first) != keep(b, first+1) {
+				panic("core: non-uniform keep over repeating levels")
+			}
+			continue
+		}
+		for ph := 0; ph < a; ph++ {
+			w0 := weight(b, first, ph)
+			w1 := weight(b, first+1, ph)
+			w2 := weight(b, first+2, ph)
+			// w(k) = w0 + bk·k + ck·k² with k the offset past `first`.
+			ck := (w2 - 2*w1 + w0) / 2
+			bk := w1 - w0 - ck
+			idx := bi*a + ph
+			total += w0*tail[idx] + bk*tailW[idx] + ck*tailW2[idx]
+		}
+	}
+	return total
+}
+
+// kindMass returns the stationary probability of a server condition.
+func (s *Solution) kindMass(k Kind) float64 {
+	return s.maskedMass(
+		func(b block, _ int) bool { return b.kind == k },
+		func(block, int, int) float64 { return 1 },
+	)
+}
+
+func (s *Solution) computeMetrics() {
+	m := s.model
+	cfg := m.cfg
+	all := func(block, int) bool { return true }
+
+	s.UtilFG = s.kindMass(KindFG)
+	s.UtilBG = s.kindMass(KindBG)
+	s.ProbIdleWait = s.kindMass(KindIdle)
+	s.ProbEmpty = s.kindMass(KindEmpty)
+
+	// E[y]: y = level − x for every state.
+	s.QLenFG = s.maskedMass(all, func(b block, level, _ int) float64 {
+		return float64(level - b.x)
+	})
+	// E[x].
+	s.QLenBG = s.maskedMass(all, func(b block, level, _ int) float64 {
+		return float64(b.x)
+	})
+
+	// BG completion rate: BG jobs are generated at FG completion epochs — at
+	// per-state rate p·t_s with PH service — and dropped exactly when the
+	// buffer is already full, so CompBG is one minus the completion-rate-
+	// weighted probability of a full buffer among FG-serving states. For
+	// exponential service this reduces to 1 − P(x=X | FG serving).
+	exits := m.exitVec
+	exitWeight := func(_ block, _ int, ph int) float64 { return exits[ph] }
+	complFG := s.maskedMass(func(b block, _ int) bool { return b.kind == KindFG }, exitWeight)
+	complFGFull := s.maskedMass(
+		func(b block, _ int) bool { return b.kind == KindFG && b.x == cfg.BGBuffer },
+		exitWeight,
+	)
+	switch {
+	case cfg.BGProb == 0 || complFG <= 0:
+		s.CompBG = 1
+	default:
+		s.CompBG = 1 - complFGFull/complFG
+	}
+
+	// Fraction of FG arrivals that land during a BG service. MAP arrivals
+	// occur at per-phase rate D1 row sums, so arrival-weighted masses are
+	// the correct observer distribution.
+	rates := m.rateVec
+	arrivalWeighted := func(k Kind) float64 {
+		return s.maskedMass(
+			func(b block, _ int) bool { return b.kind == k },
+			func(_ block, _ int, ph int) float64 { return rates[ph] },
+		)
+	}
+	lambdaEff := s.maskedMass(all, func(_ block, _ int, ph int) float64 { return rates[ph] })
+	if lambdaEff > 0 {
+		s.WaitPFG = arrivalWeighted(KindBG) / lambdaEff
+	}
+
+	s.ThroughputFG = complFG
+	s.ThroughputBG = s.maskedMass(func(b block, _ int) bool { return b.kind == KindBG }, exitWeight)
+	s.GenRateBG = cfg.BGProb * complFG
+	if cfg.BGProb > 0 {
+		s.DropRateBG = cfg.BGProb * complFGFull
+	}
+	if lambda := cfg.Arrival.Rate(); lambda > 0 {
+		s.RespTimeFG = s.QLenFG / lambda
+	}
+	if admitted := s.GenRateBG - s.DropRateBG; admitted > 0 {
+		s.RespTimeBG = s.QLenBG / admitted
+	}
+}
+
+// FGQueueMoment2 returns E[y²], the second moment of the foreground
+// population.
+func (s *Solution) FGQueueMoment2() float64 {
+	return s.maskedMass(
+		func(block, int) bool { return true },
+		func(b block, level, _ int) float64 {
+			y := float64(level - b.x)
+			return y * y
+		},
+	)
+}
+
+// FGQueueStdDev returns the standard deviation of the foreground population.
+func (s *Solution) FGQueueStdDev() float64 {
+	v := s.FGQueueMoment2() - s.QLenFG*s.QLenFG
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// TotalMass returns the stationary mass (≈1); exposed for validation.
+func (s *Solution) TotalMass() float64 { return s.sol.TotalMass() }
+
+// KindProb returns the stationary probability of a server condition.
+func (s *Solution) KindProb(k Kind) float64 { return s.kindMass(k) }
+
+// BGOccupancyDist returns P(x = v) for v = 0..X: the distribution of the
+// number of background jobs in the system.
+func (s *Solution) BGOccupancyDist() []float64 {
+	x := s.model.cfg.BGBuffer
+	dist := make([]float64, x+1)
+	for v := 0; v <= x; v++ {
+		v := v
+		dist[v] = s.maskedMass(
+			func(b block, _ int) bool { return b.x == v },
+			func(block, int, int) float64 { return 1 },
+		)
+	}
+	return dist
+}
+
+// FGQueueDist returns P(y = n) for n = 0..maxN: the distribution of the
+// number of foreground jobs in the system.
+func (s *Solution) FGQueueDist(maxN int) []float64 {
+	m := s.model
+	a := m.Phases()
+	dist := make([]float64, maxN+1)
+	// Boundary levels.
+	for j := 0; j <= m.xEff; j++ {
+		pi := s.sol.BoundaryPi[j]
+		for bi, b := range m.levelBlocks(j) {
+			y := j - b.x
+			if y > maxN {
+				continue
+			}
+			for ph := 0; ph < a; ph++ {
+				dist[y] += pi[bi*a+ph]
+			}
+		}
+	}
+	// Tail levels: y = level − x; walk R powers once.
+	first := s.sol.FirstRepLevel()
+	maxLevel := first + maxN + m.xEff
+	v := s.sol.LevelPi(first)
+	rT := s.sol.R.Transpose()
+	for level := first; level <= maxLevel; level++ {
+		for bi, b := range s.repBlocks {
+			y := level - b.x
+			if y < 0 || y > maxN {
+				continue
+			}
+			for ph := 0; ph < a; ph++ {
+				dist[y] += v[bi*a+ph]
+			}
+		}
+		v = rT.MulVec(v)
+	}
+	return dist
+}
+
+// QBD exposes the underlying stationary solution for advanced inspection.
+func (s *Solution) QBD() *qbd.Solution { return s.sol }
+
+// TailDecayRate returns the caudal characteristic sp(R): asymptotically
+// P(population = n+1)/P(population = n) → sp(R), so it bounds how fast the
+// queue tail thins. Values near 1 are the signature of strongly dependent
+// arrivals.
+func (s *Solution) TailDecayRate() float64 {
+	return matSpectralRadius(s.sol.R)
+}
+
+// FGQueueQuantile returns the smallest n with P(y ≤ n) ≥ q, for q in (0,1).
+func (s *Solution) FGQueueQuantile(q float64) (int, error) {
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("%w: quantile %g outside (0,1)", ErrConfig, q)
+	}
+	for maxN := 64; ; maxN *= 2 {
+		dist := s.FGQueueDist(maxN)
+		cum := 0.0
+		for n, p := range dist {
+			cum += p
+			if cum >= q {
+				return n, nil
+			}
+		}
+		if maxN > 1<<22 {
+			return 0, fmt.Errorf("%w: quantile %g beyond 2^22 jobs (near-critical load)", ErrConfig, q)
+		}
+	}
+}

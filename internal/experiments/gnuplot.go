@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteGnuplot renders the figure as a self-contained gnuplot script with
+// inline data blocks, so every reproduced figure can be plotted next to the
+// paper's:
+//
+//	go run ./cmd/experiments -figure 7 -format gnuplot -outdir plots/
+//	gnuplot -p plots/fig7a.gp
+//
+// Queue-length figures span orders of magnitude; callers can flip the
+// logscale line the script emits commented out.
+func (f Figure) WriteGnuplot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "# note: %s\n", f.Notes)
+	}
+	fmt.Fprintf(&b, "set title %q\n", f.Title)
+	fmt.Fprintf(&b, "set xlabel %q\n", f.XLabel)
+	fmt.Fprintf(&b, "set ylabel %q\n", f.YLabel)
+	b.WriteString("set key top left\nset grid\n# set logscale y\n")
+	for i, s := range f.Series {
+		fmt.Fprintf(&b, "$data%d << EOD\n", i)
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%s %s\n", fmtG(pt.X), fmtG(pt.Y))
+		}
+		b.WriteString("EOD\n")
+	}
+	b.WriteString("plot ")
+	for i, s := range f.Series {
+		if i > 0 {
+			b.WriteString(", \\\n     ")
+		}
+		fmt.Fprintf(&b, "$data%d using 1:2 with linespoints title %q", i, s.Label)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

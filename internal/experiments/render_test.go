@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID:     "figX",
+		Title:  "Sample",
+		XLabel: "x",
+		YLabel: "y",
+		Notes:  "just a test",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 4}}},
+			{Label: "b, quoted", Points: []Point{{X: 1, Y: 3}}},
+		},
+	}
+}
+
+func TestFigureWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"figX", "Sample", "just a test", "x", "a", "b, quoted", "(y axis: y)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Ragged series render "-" placeholders.
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for short series")
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 { // header + 2 data rows
+		t.Fatalf("got %d CSV lines, want 3:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], `"b, quoted":x`) {
+		t.Errorf("label with comma not quoted: %s", lines[0])
+	}
+}
+
+func TestTableWrite(t *testing.T) {
+	tbl := Table{
+		ID:     "tblX",
+		Title:  "Tbl",
+		Header: []string{"k", "v"},
+		Rows:   [][]string{{"one", "1"}, {"two", "2"}},
+		Notes:  "note here",
+	}
+	var txt strings.Builder
+	if err := tbl.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tblX", "note here", "one", "2"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("table text missing %q", want)
+		}
+	}
+	var csvOut strings.Builder
+	if err := tbl.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csvOut.String(), "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want 3", got)
+	}
+}
+
+func TestResultWriteText(t *testing.T) {
+	r := Result{
+		Figures: []Figure{sampleFigure()},
+		Tables:  []Table{{ID: "t", Title: "T", Header: []string{"h"}, Rows: [][]string{{"v"}}}},
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "== t: T ==") {
+		t.Errorf("result text incomplete:\n%s", out)
+	}
+}
+
+func TestFigureWriteGnuplot(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().WriteGnuplot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"set title \"Sample\"",
+		"set xlabel \"x\"",
+		"$data0 << EOD",
+		"$data1 << EOD",
+		"with linespoints title \"a\"",
+		`with linespoints title "b, quoted"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gnuplot output missing %q:\n%s", want, out)
+		}
+	}
+	// One data row per point.
+	if got := strings.Count(out, "\nEOD"); got != 2 {
+		t.Errorf("got %d data blocks, want 2", got)
+	}
+}

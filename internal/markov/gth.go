@@ -1,0 +1,81 @@
+package markov
+
+import (
+	"fmt"
+
+	"bgperf/internal/mat"
+)
+
+// StationaryCTMCGTH returns the stationary vector of an irreducible CTMC by
+// the Grassmann–Taksar–Heyman (GTH) algorithm. GTH performs state-by-state
+// censoring using only additions and multiplications of nonnegative
+// quantities — no subtractions — so it is immune to the cancellation that
+// can degrade LU-based solves on stiff generators (rates spanning many
+// orders of magnitude, as the paper's trace MMPPs do).
+func StationaryCTMCGTH(q *mat.Matrix) ([]float64, error) {
+	if err := CheckGenerator(q, 0); err != nil {
+		return nil, err
+	}
+	n := q.Rows()
+	if n == 0 {
+		return nil, ErrReducible
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	// Work on the off-diagonal rates only; diagonals are implied.
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := q.At(i, j)
+				if v < 0 {
+					v = 0 // tolerance-level noise from CheckGenerator
+				}
+				a.Set(i, j, v)
+			}
+		}
+	}
+	// Censoring sweep: eliminate states n−1, …, 1. After eliminating state
+	// k, a[i][j] (i,j < k) describes the chain watched only on {0..k−1}.
+	for k := n - 1; k >= 1; k-- {
+		var out float64 // total rate out of state k toward {0..k−1}
+		for j := 0; j < k; j++ {
+			out += a.At(k, j)
+		}
+		if out <= 0 {
+			return nil, fmt.Errorf("%w: state %d cannot reach lower-indexed states", ErrReducible, k)
+		}
+		for i := 0; i < k; i++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			scale := aik / out
+			for j := 0; j < k; j++ {
+				if j != i {
+					a.Add(i, j, scale*a.At(k, j))
+				}
+			}
+		}
+	}
+	// Back substitution: unnormalized π with π[0] = 1.
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var out float64
+		for j := 0; j < k; j++ {
+			out += a.At(k, j)
+		}
+		var in float64
+		for i := 0; i < k; i++ {
+			in += pi[i] * a.At(i, k)
+		}
+		pi[k] = in / out
+	}
+	sum := mat.Sum(pi)
+	if sum <= 0 {
+		return nil, ErrReducible
+	}
+	return mat.ScaleVec(pi, 1/sum), nil
+}

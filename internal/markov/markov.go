@@ -1,0 +1,210 @@
+// Package markov provides continuous- and discrete-time Markov chain
+// utilities: generator and stochastic-matrix validation, stationary
+// distributions of finite irreducible chains, and uniformization.
+//
+// These primitives underpin both the arrival-process library (stationary
+// phase vectors of MMPPs) and the QBD solver (drift conditions, logarithmic
+// reduction on the uniformized chain).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bgperf/internal/mat"
+)
+
+// ErrNotGenerator reports a matrix that is not a CTMC infinitesimal
+// generator (nonnegative off-diagonal entries, zero row sums).
+var ErrNotGenerator = errors.New("markov: not an infinitesimal generator")
+
+// ErrNotStochastic reports a matrix that is not row stochastic.
+var ErrNotStochastic = errors.New("markov: not a stochastic matrix")
+
+// ErrReducible reports a chain whose stationary system is singular, which for
+// our use means the chain is reducible or otherwise degenerate.
+var ErrReducible = errors.New("markov: chain has no unique stationary distribution")
+
+// defaultTol is the validation tolerance for row sums and signs.
+const defaultTol = 1e-9
+
+// CheckGenerator verifies that q is a CTMC generator: square, finite,
+// nonnegative off-diagonal, non-positive diagonal, and row sums zero within
+// tol (defaultTol when tol <= 0).
+func CheckGenerator(q *mat.Matrix, tol float64) error {
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	n := q.Rows()
+	if n != q.Cols() {
+		return fmt.Errorf("%w: %dx%d is not square", ErrNotGenerator, q.Rows(), q.Cols())
+	}
+	if !q.IsFinite() {
+		return fmt.Errorf("%w: non-finite entries", ErrNotGenerator)
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := q.At(i, j)
+			sum += v
+			if i == j {
+				if v > tol {
+					return fmt.Errorf("%w: positive diagonal %g at row %d", ErrNotGenerator, v, i)
+				}
+			} else if v < -tol {
+				return fmt.Errorf("%w: negative off-diagonal %g at (%d,%d)", ErrNotGenerator, v, i, j)
+			}
+		}
+		scale := math.Max(1, math.Abs(q.At(i, i)))
+		if math.Abs(sum) > tol*scale {
+			return fmt.Errorf("%w: row %d sums to %g", ErrNotGenerator, i, sum)
+		}
+	}
+	return nil
+}
+
+// CheckStochastic verifies that p is a row-stochastic matrix within tol.
+func CheckStochastic(p *mat.Matrix, tol float64) error {
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	n := p.Rows()
+	if n != p.Cols() {
+		return fmt.Errorf("%w: %dx%d is not square", ErrNotStochastic, p.Rows(), p.Cols())
+	}
+	if !p.IsFinite() {
+		return fmt.Errorf("%w: non-finite entries", ErrNotStochastic)
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := p.At(i, j)
+			if v < -tol {
+				return fmt.Errorf("%w: negative entry %g at (%d,%d)", ErrNotStochastic, v, i, j)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("%w: row %d sums to %g", ErrNotStochastic, i, sum)
+		}
+	}
+	return nil
+}
+
+// StationaryCTMC returns the stationary probability vector π of the
+// irreducible CTMC with generator q: πQ = 0, πe = 1.
+func StationaryCTMC(q *mat.Matrix) ([]float64, error) {
+	if err := CheckGenerator(q, 0); err != nil {
+		return nil, err
+	}
+	return stationaryFromSingular(q)
+}
+
+// StationaryDTMC returns the stationary probability vector π of the
+// irreducible DTMC with transition matrix p: πP = π, πe = 1.
+func StationaryDTMC(p *mat.Matrix) ([]float64, error) {
+	if err := CheckStochastic(p, 0); err != nil {
+		return nil, err
+	}
+	q := p.SubMat(mat.Identity(p.Rows()))
+	return stationaryFromSingular(q)
+}
+
+// stationaryFromSingular solves x·M = 0, x·e = 1 where M has a one-
+// dimensional left null space, by replacing the last column of M with ones.
+func stationaryFromSingular(m *mat.Matrix) ([]float64, error) {
+	n := m.Rows()
+	if n == 0 {
+		return nil, ErrReducible
+	}
+	a := m.Clone()
+	for i := 0; i < n; i++ {
+		a.Set(i, n-1, 1)
+	}
+	rhs := make([]float64, n)
+	rhs[n-1] = 1
+	x, err := mat.SolveLeft(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReducible, err)
+	}
+	// Clamp tiny negative round-off and renormalize.
+	var sum float64
+	for i, v := range x {
+		if v < 0 {
+			if v < -1e-8 {
+				return nil, fmt.Errorf("%w: negative stationary mass %g", ErrReducible, v)
+			}
+			x[i] = 0
+			v = 0
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, ErrReducible
+	}
+	mat.ScaleVec(x, 1/sum)
+	return x, nil
+}
+
+// Uniformize converts the generator q into the transition matrix of its
+// uniformized DTMC, P = I + Q/θ, and returns (P, θ). The uniformization rate
+// θ is max_i |q_ii| inflated slightly so P stays strictly substochastic in
+// each transient row, which improves the numerical behaviour of logarithmic
+// reduction. Uniformize panics if q has a zero diagonal everywhere (no
+// transitions at all).
+func Uniformize(q *mat.Matrix) (*mat.Matrix, float64) {
+	n := q.Rows()
+	theta := 0.0
+	for i := 0; i < n; i++ {
+		if d := -q.At(i, i); d > theta {
+			theta = d
+		}
+	}
+	if theta == 0 {
+		panic("markov: cannot uniformize the zero generator")
+	}
+	theta *= 1 + 1e-12
+	p := q.Clone().Scale(1 / theta)
+	for i := 0; i < n; i++ {
+		p.Add(i, i, 1)
+	}
+	return p, theta
+}
+
+// EmbeddedDTMC returns the jump-chain transition matrix of the CTMC with
+// generator q: P[i][j] = q_ij / (−q_ii) for i ≠ j. States with zero exit rate
+// (absorbing) get a self-loop.
+func EmbeddedDTMC(q *mat.Matrix) *mat.Matrix {
+	n := q.Rows()
+	p := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		exit := -q.At(i, i)
+		if exit <= 0 {
+			p.Set(i, i, 1)
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				p.Set(i, j, q.At(i, j)/exit)
+			}
+		}
+	}
+	return p
+}
+
+// ExpectedHoldingTimes returns the mean sojourn time 1/(−q_ii) per state;
+// +Inf for absorbing states.
+func ExpectedHoldingTimes(q *mat.Matrix) []float64 {
+	n := q.Rows()
+	h := make([]float64, n)
+	for i := 0; i < n; i++ {
+		exit := -q.At(i, i)
+		if exit <= 0 {
+			h[i] = math.Inf(1)
+			continue
+		}
+		h[i] = 1 / exit
+	}
+	return h
+}

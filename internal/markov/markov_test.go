@@ -1,0 +1,335 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bgperf/internal/mat"
+)
+
+func twoStateGen(a, b float64) *mat.Matrix {
+	return mat.MustFromRows([][]float64{
+		{-a, a},
+		{b, -b},
+	})
+}
+
+func TestCheckGeneratorValid(t *testing.T) {
+	if err := CheckGenerator(twoStateGen(1, 2), 0); err != nil {
+		t.Errorf("valid generator rejected: %v", err)
+	}
+}
+
+func TestCheckGeneratorRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		q    *mat.Matrix
+	}{
+		{"nonzero row sum", mat.MustFromRows([][]float64{{-1, 2}, {1, -1}})},
+		{"negative off-diagonal", mat.MustFromRows([][]float64{{1, -1}, {1, -1}})},
+		{"positive diagonal", mat.MustFromRows([][]float64{{1, -1}, {2, -2}})},
+		{"not square", mat.New(2, 3)},
+		{"NaN", mat.MustFromRows([][]float64{{math.NaN(), 0}, {0, 0}})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := CheckGenerator(tt.q, 0); err == nil {
+				t.Error("invalid generator accepted")
+			}
+		})
+	}
+}
+
+func TestCheckStochastic(t *testing.T) {
+	p := mat.MustFromRows([][]float64{{0.25, 0.75}, {0.5, 0.5}})
+	if err := CheckStochastic(p, 0); err != nil {
+		t.Errorf("valid stochastic matrix rejected: %v", err)
+	}
+	bad := mat.MustFromRows([][]float64{{0.5, 0.4}, {0.5, 0.5}})
+	if err := CheckStochastic(bad, 0); err == nil {
+		t.Error("defective stochastic matrix accepted")
+	}
+	neg := mat.MustFromRows([][]float64{{1.5, -0.5}, {0.5, 0.5}})
+	if err := CheckStochastic(neg, 0); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestStationaryCTMCTwoState(t *testing.T) {
+	// Birth rate a, death rate b: π = (b, a)/(a+b).
+	pi, err := StationaryCTMC(twoStateGen(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.75) > 1e-12 || math.Abs(pi[1]-0.25) > 1e-12 {
+		t.Errorf("pi = %v, want [0.75 0.25]", pi)
+	}
+}
+
+func TestStationaryCTMCBirthDeath(t *testing.T) {
+	// 3-state birth-death with birth 1, death 2: geometric with ratio 1/2.
+	q := mat.MustFromRows([][]float64{
+		{-1, 1, 0},
+		{2, -3, 1},
+		{0, 2, -2},
+	})
+	pi, err := StationaryCTMC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4.0 / 7, 2.0 / 7, 1.0 / 7}
+	for i := range want {
+		if math.Abs(pi[i]-want[i]) > 1e-12 {
+			t.Errorf("pi[%d] = %v, want %v", i, pi[i], want[i])
+		}
+	}
+}
+
+func TestStationaryCTMCReducible(t *testing.T) {
+	// Two absorbing states: zero generator is reducible.
+	q := mat.New(2, 2)
+	if _, err := StationaryCTMC(q); err == nil {
+		t.Error("reducible chain accepted")
+	} else if !errors.Is(err, ErrReducible) {
+		t.Errorf("error = %v, want ErrReducible", err)
+	}
+}
+
+func TestStationaryDTMC(t *testing.T) {
+	p := mat.MustFromRows([][]float64{{0.5, 0.5}, {0.25, 0.75}})
+	pi, err := StationaryDTMC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balance: pi0*0.5 = pi1*0.25 => pi = (1/3, 2/3).
+	if math.Abs(pi[0]-1.0/3) > 1e-12 {
+		t.Errorf("pi = %v, want [1/3 2/3]", pi)
+	}
+}
+
+func TestStationaryDTMCIdentityReducible(t *testing.T) {
+	if _, err := StationaryDTMC(mat.Identity(3)); err == nil {
+		t.Error("identity DTMC (reducible) accepted")
+	}
+}
+
+func TestUniformize(t *testing.T) {
+	q := twoStateGen(1, 4)
+	p, theta := Uniformize(q)
+	if theta < 4 {
+		t.Errorf("theta = %v, want >= 4", theta)
+	}
+	if err := CheckStochastic(p, 1e-9); err != nil {
+		t.Errorf("uniformized matrix not stochastic: %v", err)
+	}
+	// Same stationary distribution.
+	piQ, err := StationaryCTMC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piP, err := StationaryDTMC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range piQ {
+		if math.Abs(piQ[i]-piP[i]) > 1e-9 {
+			t.Errorf("stationary mismatch at %d: ctmc %v dtmc %v", i, piQ[i], piP[i])
+		}
+	}
+}
+
+func TestUniformizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniformize(0) did not panic")
+		}
+	}()
+	Uniformize(mat.New(2, 2))
+}
+
+func TestEmbeddedDTMC(t *testing.T) {
+	q := mat.MustFromRows([][]float64{
+		{-2, 1, 1},
+		{0, -3, 3},
+		{1, 1, -2},
+	})
+	p := EmbeddedDTMC(q)
+	if err := CheckStochastic(p, 1e-12); err != nil {
+		t.Fatalf("embedded chain not stochastic: %v", err)
+	}
+	if p.At(0, 1) != 0.5 || p.At(1, 2) != 1 {
+		t.Errorf("unexpected embedded chain: %v", p)
+	}
+}
+
+func TestEmbeddedDTMCAbsorbing(t *testing.T) {
+	q := mat.MustFromRows([][]float64{
+		{-1, 1},
+		{0, 0},
+	})
+	p := EmbeddedDTMC(q)
+	if p.At(1, 1) != 1 {
+		t.Errorf("absorbing state should self-loop, got %v", p)
+	}
+}
+
+func TestExpectedHoldingTimes(t *testing.T) {
+	q := mat.MustFromRows([][]float64{
+		{-4, 4},
+		{0, 0},
+	})
+	h := ExpectedHoldingTimes(q)
+	if h[0] != 0.25 || !math.IsInf(h[1], 1) {
+		t.Errorf("holding times = %v", h)
+	}
+}
+
+// randomGenerator builds an irreducible generator with positive off-diagonal
+// rates in (0, 1].
+func randomGenerator(rng *rand.Rand, n int) *mat.Matrix {
+	q := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.Float64() + 1e-3
+			q.Set(i, j, v)
+			sum += v
+		}
+		q.Set(i, i, -sum)
+	}
+	return q
+}
+
+func TestQuickStationaryResidual(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		q := randomGenerator(rng, n)
+		pi, err := StationaryCTMC(q)
+		if err != nil {
+			return false
+		}
+		if math.Abs(mat.Sum(pi)-1) > 1e-9 {
+			return false
+		}
+		res := q.VecMul(pi)
+		for _, v := range res {
+			if math.Abs(v) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUniformizePreservesStationary(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%5) + 2
+		rng := rand.New(rand.NewSource(seed))
+		q := randomGenerator(rng, n)
+		p, _ := Uniformize(q)
+		piQ, err1 := StationaryCTMC(q)
+		piP, err2 := StationaryDTMC(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range piQ {
+			if math.Abs(piQ[i]-piP[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGTHMatchesLU(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		q := randomGenerator(rng, n)
+		lu, err1 := StationaryCTMC(q)
+		gth, err2 := StationaryCTMCGTH(q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range lu {
+			if math.Abs(lu[i]-gth[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGTHStiffGenerator(t *testing.T) {
+	// Rates spanning 12 orders of magnitude: GTH stays exact where naive
+	// elimination loses digits. Closed form for the 2-state chain:
+	// π = (b, a)/(a+b).
+	const a, b = 1e6, 1e-6
+	pi, err := StationaryCTMCGTH(twoStateGen(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := b / (a + b)
+	if math.Abs(pi[0]-want0) > 1e-15*want0 && math.Abs(pi[0]-want0) > 1e-24 {
+		t.Errorf("pi[0] = %v, want %v", pi[0], want0)
+	}
+	if math.Abs(pi[0]+pi[1]-1) > 1e-15 {
+		t.Errorf("mass = %v", pi[0]+pi[1])
+	}
+}
+
+func TestGTHTraceMMPPGenerators(t *testing.T) {
+	// The paper's Soft.Dev. modulating chain (rates ~1e-6): both solvers
+	// agree; GTH serves as the reference.
+	q := mat.MustFromRows([][]float64{
+		{-0.9e-6, 0.9e-6},
+		{1.9e-6, -1.9e-6},
+	})
+	lu, err := StationaryCTMC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gth, err := StationaryCTMCGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lu {
+		if math.Abs(lu[i]-gth[i]) > 1e-12 {
+			t.Errorf("state %d: LU %v vs GTH %v", i, lu[i], gth[i])
+		}
+	}
+}
+
+func TestGTHRejects(t *testing.T) {
+	if _, err := StationaryCTMCGTH(mat.New(2, 2)); err == nil {
+		t.Error("zero generator accepted")
+	}
+	// Absorbing upper state: state 1 cannot reach state 0.
+	q := mat.MustFromRows([][]float64{{-1, 1}, {0, 0}})
+	if _, err := StationaryCTMCGTH(q); err == nil {
+		t.Error("reducible chain accepted")
+	}
+}
+
+func TestGTHSingleState(t *testing.T) {
+	pi, err := StationaryCTMCGTH(mat.New(1, 1))
+	if err != nil || len(pi) != 1 || pi[0] != 1 {
+		t.Errorf("single state: %v, %v", pi, err)
+	}
+}

@@ -1,0 +1,102 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"bgperf/internal/mat"
+)
+
+// Transient computes the state distribution of the CTMC with generator q at
+// each of the given times, starting from pi0, by uniformization:
+//
+//	π(t) = Σ_k e^{−θt}(θt)^k/k! · π0·Pᵏ,  P = I + Q/θ.
+//
+// The Poisson sum is truncated adaptively so the neglected mass stays below
+// 1e-12 per time point. Times must be nondecreasing and nonnegative; the
+// returned slice has one distribution per time.
+func Transient(q *mat.Matrix, pi0 []float64, times []float64) ([][]float64, error) {
+	n := q.Rows()
+	if len(pi0) != n {
+		return nil, fmt.Errorf("%w: initial vector has %d entries for %d states", ErrNotGenerator, len(pi0), n)
+	}
+	if err := CheckGenerator(q, 0); err != nil {
+		return nil, err
+	}
+	var mass float64
+	for i, v := range pi0 {
+		if v < 0 {
+			return nil, fmt.Errorf("markov: negative initial mass %g at state %d", v, i)
+		}
+		mass += v
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		return nil, fmt.Errorf("markov: initial vector sums to %g", mass)
+	}
+	prev := math.Inf(-1)
+	for _, t := range times {
+		if t < 0 || math.IsNaN(t) {
+			return nil, fmt.Errorf("markov: invalid time %g", t)
+		}
+		if t < prev {
+			return nil, fmt.Errorf("markov: times must be nondecreasing")
+		}
+		prev = t
+	}
+	if len(times) == 0 {
+		return nil, nil
+	}
+
+	p, theta := Uniformize(q)
+	pT := p.Transpose()
+	out := make([][]float64, len(times))
+
+	// Powers π0·Pᵏ are shared across time points: compute them lazily and
+	// keep only the running vector; for each time accumulate the Poisson-
+	// weighted sum as k advances. Since times are sorted, process all times
+	// in one sweep up to the largest needed k.
+	maxT := times[len(times)-1]
+	lambdaMax := theta * maxT
+	kMax := int(lambdaMax+12*math.Sqrt(lambdaMax+4)) + 40
+
+	// Per-time Poisson log-weights are generated incrementally.
+	type acc struct {
+		lambda  float64
+		logTerm float64 // log of e^{−λ}λ^k/k!
+		sum     []float64
+	}
+	accs := make([]*acc, len(times))
+	for i, t := range times {
+		accs[i] = &acc{lambda: theta * t, logTerm: -theta * t, sum: make([]float64, n)}
+	}
+	v := make([]float64, n)
+	copy(v, pi0)
+	for k := 0; k <= kMax; k++ {
+		for _, a := range accs {
+			w := math.Exp(a.logTerm)
+			if w > 0 {
+				for i := range a.sum {
+					a.sum[i] += w * v[i]
+				}
+			}
+			if a.lambda > 0 {
+				a.logTerm += math.Log(a.lambda) - math.Log(float64(k+1))
+			} else {
+				a.logTerm = math.Inf(-1)
+			}
+		}
+		if k < kMax {
+			v = pT.MulVec(v)
+		}
+	}
+	for i, a := range accs {
+		// Renormalize the tiny truncated tail.
+		total := mat.Sum(a.sum)
+		if total <= 0 {
+			return nil, fmt.Errorf("markov: transient mass lost at t=%g", times[i])
+		}
+		mat.ScaleVec(a.sum, 1/total)
+		out[i] = a.sum
+	}
+	return out, nil
+}

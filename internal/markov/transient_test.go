@@ -1,0 +1,105 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/mat"
+)
+
+func TestTransientTwoStateClosedForm(t *testing.T) {
+	// For Q = [[−a,a],[b,−b]] starting in state 0:
+	// p00(t) = b/(a+b) + a/(a+b)·e^{−(a+b)t}.
+	const a, b = 1.5, 0.5
+	q := twoStateGen(a, b)
+	times := []float64{0, 0.1, 0.5, 1, 3, 10}
+	dists, err := Transient(q, []float64{1, 0}, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		want := b/(a+b) + a/(a+b)*math.Exp(-(a+b)*tm)
+		if got := dists[i][0]; math.Abs(got-want) > 1e-10 {
+			t.Errorf("p00(%v) = %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	q := mat.MustFromRows([][]float64{
+		{-2, 1, 1},
+		{1, -3, 2},
+		{0.5, 0.5, -1},
+	})
+	pi, err := StationaryCTMC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists, err := Transient(q, []float64{0, 0, 1}, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Abs(dists[0][i]-pi[i]) > 1e-9 {
+			t.Errorf("state %d: transient %v vs stationary %v", i, dists[0][i], pi[i])
+		}
+	}
+}
+
+func TestTransientZeroTimeIsInitial(t *testing.T) {
+	q := twoStateGen(1, 1)
+	dists, err := Transient(q, []float64{0.25, 0.75}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dists[0][0]-0.25) > 1e-12 || math.Abs(dists[0][1]-0.75) > 1e-12 {
+		t.Errorf("π(0) = %v, want initial vector", dists[0])
+	}
+}
+
+func TestTransientMassConserved(t *testing.T) {
+	q := mat.MustFromRows([][]float64{
+		{-5, 5, 0},
+		{0, -10, 10},
+		{1, 0, -1},
+	})
+	dists, err := Transient(q, []float64{1, 0, 0}, []float64{0.01, 0.1, 1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dists {
+		var sum float64
+		for _, v := range d {
+			if v < 0 {
+				t.Fatalf("negative mass at time index %d: %v", i, d)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("time index %d: mass %v", i, sum)
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	q := twoStateGen(1, 1)
+	if _, err := Transient(q, []float64{1}, []float64{1}); err == nil {
+		t.Error("wrong-length initial vector accepted")
+	}
+	if _, err := Transient(q, []float64{0.5, 0.4}, []float64{1}); err == nil {
+		t.Error("deficient initial vector accepted")
+	}
+	if _, err := Transient(q, []float64{-0.5, 1.5}, []float64{1}); err == nil {
+		t.Error("negative initial mass accepted")
+	}
+	if _, err := Transient(q, []float64{1, 0}, []float64{2, 1}); err == nil {
+		t.Error("decreasing times accepted")
+	}
+	if _, err := Transient(q, []float64{1, 0}, []float64{-1}); err == nil {
+		t.Error("negative time accepted")
+	}
+	out, err := Transient(q, []float64{1, 0}, nil)
+	if err != nil || out != nil {
+		t.Errorf("empty times: got %v, %v", out, err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package mat implements the dense real linear algebra needed by the
+// matrix-analytic machinery in this repository: matrix arithmetic, LU-based
+// linear solves and inversion, Kronecker products, and spectral-radius
+// estimation. It is deliberately small, allocation-conscious, and built only
+// on the standard library.
+//
+// Matrices are dense, row-major, and indexed from zero. All operations either
+// return fresh matrices or write into explicitly provided destinations; no
+// operation aliases its inputs unless documented.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned by factorizations and solvers when the input matrix
+// is singular to working precision.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	a          []float64
+}
+
+// New returns a zero-valued rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Matrix{rows: rows, cols: cols, a: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of rows. All rows must have equal
+// length. The data is copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(r), c)
+		}
+		copy(m.a[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows but panics on ragged input. It is intended for
+// package-level literals and tests.
+func MustFromRows(rows [][]float64) *Matrix {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.a[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on its diagonal.
+func Diag(d []float64) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.a[i*len(d)+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.a[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.a[i*m.cols+j] = v }
+
+// Add increments the element at row i, column j by v.
+func (m *Matrix) Add(i, j int, v float64) { m.a[i*m.cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.a, m.a)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	r := make([]float64, m.cols)
+	copy(r, m.a[i*m.cols:(i+1)*m.cols])
+	return r
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(ErrShape)
+	}
+	copy(m.a[i*m.cols:(i+1)*m.cols], v)
+}
+
+// Zero resets every entry of m to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.a {
+		m.a[i] = 0
+	}
+}
+
+// Scale multiplies every entry by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.a {
+		m.a[i] *= s
+	}
+	return m
+}
+
+// AddMat returns m + n as a new matrix.
+func (m *Matrix) AddMat(n *Matrix) *Matrix {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(ErrShape)
+	}
+	out := m.Clone()
+	for i := range out.a {
+		out.a[i] += n.a[i]
+	}
+	return out
+}
+
+// SubMat returns m − n as a new matrix.
+func (m *Matrix) SubMat(n *Matrix) *Matrix {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(ErrShape)
+	}
+	out := m.Clone()
+	for i := range out.a {
+		out.a[i] -= n.a[i]
+	}
+	return out
+}
+
+// AddInPlace adds n into m in place and returns m.
+func (m *Matrix) AddInPlace(n *Matrix) *Matrix {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(ErrShape)
+	}
+	for i := range m.a {
+		m.a[i] += n.a[i]
+	}
+	return m
+}
+
+// Mul returns the matrix product m·n as a new matrix.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	out := New(m.rows, n.cols)
+	out.MulInto(m, n)
+	return out
+}
+
+// MulInto computes a·b into the receiver, which must have matching shape and
+// must not alias a or b.
+func (m *Matrix) MulInto(a, b *Matrix) {
+	if a.cols != b.rows || m.rows != a.rows || m.cols != b.cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < a.rows; i++ {
+		dst := m.a[i*m.cols : (i+1)*m.cols]
+		for k := range dst {
+			dst[k] = 0
+		}
+		for k := 0; k < a.cols; k++ {
+			aik := a.a[i*a.cols+k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.a[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				dst[j] += aik * bv
+			}
+		}
+	}
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.a[j*t.cols+i] = m.a[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// VecMul returns the row-vector product x·m.
+func (m *Matrix) VecMul(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(ErrShape)
+	}
+	out := make([]float64, m.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.a[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// MulVec returns the column-vector product m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(ErrShape)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.a[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// RowSums returns the vector of row sums.
+func (m *Matrix) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.a[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute entry of m (zero for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.a {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// NormInf returns the maximum absolute row sum.
+func (m *Matrix) NormInf() float64 {
+	var mx float64
+	for i := 0; i < m.rows; i++ {
+		row := m.a[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for _, v := range row {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Equalf reports whether m and n agree entrywise within tol.
+func (m *Matrix) Equalf(n *Matrix, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.a {
+		if math.Abs(m.a[i]-n.a[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every entry is finite (no NaN or ±Inf).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Kron returns the Kronecker product m ⊗ n.
+func (m *Matrix) Kron(n *Matrix) *Matrix {
+	out := New(m.rows*n.rows, m.cols*n.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			mij := m.a[i*m.cols+j]
+			if mij == 0 {
+				continue
+			}
+			for k := 0; k < n.rows; k++ {
+				dst := out.a[(i*n.rows+k)*out.cols+j*n.cols : (i*n.rows+k)*out.cols+(j+1)*n.cols]
+				src := n.a[k*n.cols : (k+1)*n.cols]
+				for l, v := range src {
+					dst[l] = mij * v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "% .6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

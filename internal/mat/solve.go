@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds the LU factorization with partial pivoting of a square matrix:
+// P·A = L·U, stored compactly in lu with the pivot sequence in piv.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// Factorize computes the LU factorization with partial pivoting of the square
+// matrix a. It returns ErrSingular when a pivot underflows working precision.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below the diagonal.
+		p, mx := k, math.Abs(lu.a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.a[i*n+k]); v > mx {
+				p, mx = i, v
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			ri, rk := lu.a[p*n:(p+1)*n], lu.a[k*n:(k+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.a[i*n+k] / pivVal
+			lu.a[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.a[i*n:(i+1)*n], lu.a[k*n:(k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b for x, overwriting nothing; b is copied.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(ErrShape)
+	}
+	x := make([]float64, n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit lower-triangular L.
+	for i := 1; i < n; i++ {
+		row := f.lu.a[i*n : i*n+i]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.a[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveMat solves A·X = B column by column and returns X.
+func (f *LU) SolveMat(b *Matrix) *Matrix {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(ErrShape)
+	}
+	x := New(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.a[i*b.cols+j]
+		}
+		sol := f.SolveVec(col)
+		for i := 0; i < n; i++ {
+			x.a[i*x.cols+j] = sol[i]
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.a[i*n+i]
+	}
+	return d
+}
+
+// Solve solves the linear system a·x = b.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// SolveLeft solves the row-vector system x·a = b, i.e. aᵀ·xᵀ = bᵀ.
+func SolveLeft(a *Matrix, b []float64) ([]float64, error) {
+	return Solve(a.Transpose(), b)
+}
+
+// Inverse returns a⁻¹ or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMat(Identity(a.rows)), nil
+}
+
+// SpectralRadius estimates the spectral radius of the entrywise-nonnegative
+// matrix a by power iteration. For nonnegative matrices (the R and G matrices
+// of QBD theory) the dominant eigenvalue is real and nonnegative, so power
+// iteration converges; tol controls the relative change stopping criterion.
+func SpectralRadius(a *Matrix, tol float64, maxIter int) float64 {
+	n := a.rows
+	if n == 0 {
+		return 0
+	}
+	if n != a.cols {
+		panic(ErrShape)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	prev := 0.0
+	for it := 0; it < maxIter; it++ {
+		y := a.MulVec(x)
+		var norm float64
+		for _, v := range y {
+			if av := math.Abs(v); av > norm {
+				norm = av
+			}
+		}
+		if norm == 0 {
+			return 0
+		}
+		for i := range y {
+			y[i] /= norm
+		}
+		x = y
+		if it > 0 && math.Abs(norm-prev) <= tol*math.Max(norm, 1e-300) {
+			return norm
+		}
+		prev = norm
+	}
+	return prev
+}
+
+// Ones returns a length-n vector of ones.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(ErrShape)
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// ScaleVec multiplies x by s in place and returns x.
+func ScaleVec(x []float64, s float64) []float64 {
+	for i := range x {
+		x[i] *= s
+	}
+	return x
+}

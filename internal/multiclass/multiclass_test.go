@@ -1,0 +1,414 @@
+package multiclass
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+	"bgperf/internal/markov"
+	"bgperf/internal/sim"
+)
+
+func poissonCfg(t testing.TB, lambda, mu, p1, p2 float64, x1, x2 int, alpha float64) Config {
+	t.Helper()
+	ap, err := arrival.Poisson(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Arrival: ap, ServiceRate: mu,
+		BG1Prob: p1, BG2Prob: p2,
+		BG1Buffer: x1, BG2Buffer: x2,
+		IdleRate: alpha,
+	}
+}
+
+func mmppCfg(t testing.TB, util, mu, p1, p2 float64, x1, x2 int, alpha float64) Config {
+	t.Helper()
+	m, err := arrival.MMPP2(0.01, 0.02, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = m.WithRate(util * mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Arrival: m, ServiceRate: mu,
+		BG1Prob: p1, BG2Prob: p2,
+		BG1Buffer: x1, BG2Buffer: x2,
+		IdleRate: alpha,
+	}
+}
+
+func solve(t testing.TB, cfg Config) *Solution {
+	t.Helper()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	ap, _ := arrival.Poisson(1)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil arrival", Config{ServiceRate: 1}},
+		{"zero service", Config{Arrival: ap}},
+		{"negative p1", Config{Arrival: ap, ServiceRate: 2, BG1Prob: -0.1}},
+		{"sum over 1", Config{Arrival: ap, ServiceRate: 2, BG1Prob: 0.6, BG2Prob: 0.6}},
+		{"negative buffer", Config{Arrival: ap, ServiceRate: 2, BG1Buffer: -1}},
+		{"missing idle rate", Config{Arrival: ap, ServiceRate: 2, BG1Prob: 0.1, BG1Buffer: 2}},
+		{"bad policy", Config{Arrival: ap, ServiceRate: 2, IdlePolicy: 42}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewModel(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGeneratorRowsSumZero(t *testing.T) {
+	configs := []Config{
+		poissonCfg(t, 1, 2, 0.3, 0.3, 2, 2, 1),
+		poissonCfg(t, 1, 2, 0.2, 0.5, 3, 1, 2),
+		mmppCfg(t, 0.3, 2, 0.4, 0.3, 2, 2, 2),
+		func() Config {
+			c := poissonCfg(t, 1, 2, 0.3, 0.3, 2, 2, 1)
+			c.IdlePolicy = core.IdleWaitPerPeriod
+			return c
+		}(),
+	}
+	for i, cfg := range configs {
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		g := m.Generator(cfg.BG1Buffer + cfg.BG2Buffer + 4)
+		for r, s := range g.RowSums() {
+			if math.Abs(s) > 1e-9 {
+				t.Fatalf("config %d: generator row %d sums to %g", i, r, s)
+			}
+		}
+	}
+}
+
+func TestReducesToSingleClass(t *testing.T) {
+	// With p2 = 0 the two-priority model must match the single-class model
+	// exactly (and symmetrically for p1 = 0: with one class, priority is
+	// irrelevant).
+	ap, err := arrival.MMPP2(0.01, 0.02, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err = ap.WithRate(0.3 * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := core.NewModel(core.Config{
+		Arrival: ap, ServiceRate: 2, BGProb: 0.5, BGBuffer: 4, IdleRate: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name   string
+		p1, p2 float64
+		x1, x2 int
+	}{
+		{"class 1 only", 0.5, 0, 4, 3},
+		{"class 2 only", 0, 0.5, 3, 4},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			s := solve(t, Config{
+				Arrival: ap, ServiceRate: 2,
+				BG1Prob: variant.p1, BG2Prob: variant.p2,
+				BG1Buffer: variant.x1, BG2Buffer: variant.x2,
+				IdleRate: 1.5,
+			})
+			comp := s.CompBG1
+			qlen := s.QLenBG1
+			util := s.UtilBG1
+			if variant.p1 == 0 {
+				comp, qlen, util = s.CompBG2, s.QLenBG2, s.UtilBG2
+			}
+			const tol = 1e-8
+			if math.Abs(s.QLenFG-ref.QLenFG) > tol*(1+ref.QLenFG) {
+				t.Errorf("QLenFG = %v, single-class %v", s.QLenFG, ref.QLenFG)
+			}
+			if math.Abs(comp-ref.CompBG) > tol {
+				t.Errorf("CompBG = %v, single-class %v", comp, ref.CompBG)
+			}
+			if math.Abs(qlen-ref.QLenBG) > tol*(1+ref.QLenBG) {
+				t.Errorf("QLenBG = %v, single-class %v", qlen, ref.QLenBG)
+			}
+			if math.Abs(util-ref.UtilBG) > tol {
+				t.Errorf("UtilBG = %v, single-class %v", util, ref.UtilBG)
+			}
+			if math.Abs(s.WaitPFG-ref.WaitPFG) > tol {
+				t.Errorf("WaitPFG = %v, single-class %v", s.WaitPFG, ref.WaitPFG)
+			}
+		})
+	}
+}
+
+func TestBruteForceAgreement(t *testing.T) {
+	cfg := poissonCfg(t, 0.3, 2, 0.4, 0.4, 2, 2, 1.2)
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLevel = 50
+	pi, err := markov.StationaryCTMC(m.Generator(maxLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		qlenFG, qlenB1, qlenB2           float64
+		utilFG, utilB1, utilB2, idle, em float64
+		full1, full2                     float64
+	)
+	idx := 0
+	a := m.Phases()
+	for j := 0; j <= maxLevel; j++ {
+		for _, b := range m.levelBlocks(j) {
+			var mass float64
+			for ph := 0; ph < a; ph++ {
+				mass += pi[idx]
+				idx++
+			}
+			qlenFG += float64(j-b.x1-b.x2) * mass
+			qlenB1 += float64(b.x1) * mass
+			qlenB2 += float64(b.x2) * mass
+			switch b.kind {
+			case kindFG:
+				utilFG += mass
+				if b.x1 == cfg.BG1Buffer {
+					full1 += mass
+				}
+				if b.x2 == cfg.BG2Buffer {
+					full2 += mass
+				}
+			case kindBG1:
+				utilB1 += mass
+			case kindBG2:
+				utilB2 += mass
+			case kindIdle:
+				idle += mass
+			case kindEmpty:
+				em += mass
+			}
+		}
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"QLenFG", s.QLenFG, qlenFG},
+		{"QLenBG1", s.QLenBG1, qlenB1},
+		{"QLenBG2", s.QLenBG2, qlenB2},
+		{"UtilFG", s.UtilFG, utilFG},
+		{"UtilBG1", s.UtilBG1, utilB1},
+		{"UtilBG2", s.UtilBG2, utilB2},
+		{"ProbIdleWait", s.ProbIdleWait, idle},
+		{"ProbEmpty", s.ProbEmpty, em},
+		{"CompBG1", s.CompBG1, 1 - full1/utilFG},
+		{"CompBG2", s.CompBG2, 1 - full2/utilFG},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-6*(1+math.Abs(c.want)) {
+			t.Errorf("%s: matrix-geometric %v vs brute force %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// With symmetric spawn probabilities and buffers, the high-priority
+	// class must complete at least as much of its work and hold a shorter
+	// queue.
+	for _, cfg := range []Config{
+		poissonCfg(t, 1.0, 2, 0.3, 0.3, 4, 4, 1),
+		mmppCfg(t, 0.4, 2, 0.3, 0.3, 4, 4, 2),
+	} {
+		s := solve(t, cfg)
+		if s.CompBG1 < s.CompBG2 {
+			t.Errorf("CompBG1 %v < CompBG2 %v", s.CompBG1, s.CompBG2)
+		}
+		if s.QLenBG1 > s.QLenBG2 {
+			t.Errorf("QLenBG1 %v > QLenBG2 %v", s.QLenBG1, s.QLenBG2)
+		}
+		if s.UtilBG1 < s.UtilBG2 {
+			t.Errorf("UtilBG1 %v < UtilBG2 %v (class 1 should win the server)", s.UtilBG1, s.UtilBG2)
+		}
+	}
+}
+
+func TestFlowBalances(t *testing.T) {
+	cfg := poissonCfg(t, 0.8, 2, 0.4, 0.3, 3, 3, 1.5)
+	s := solve(t, cfg)
+	// Per-class: admitted = completed.
+	if adm := s.GenRateBG1 - s.DropRateBG1; math.Abs(adm-s.ThroughputBG1) > 1e-9*(1+adm) {
+		t.Errorf("class 1: admitted %v != throughput %v", adm, s.ThroughputBG1)
+	}
+	if adm := s.GenRateBG2 - s.DropRateBG2; math.Abs(adm-s.ThroughputBG2) > 1e-9*(1+adm) {
+		t.Errorf("class 2: admitted %v != throughput %v", adm, s.ThroughputBG2)
+	}
+	// FG throughput equals the arrival rate.
+	if math.Abs(s.ThroughputFG-cfg.Arrival.Rate()) > 1e-8 {
+		t.Errorf("FG throughput %v != λ %v", s.ThroughputFG, cfg.Arrival.Rate())
+	}
+	// Per-job policy: α·P(idle) = µ·P(BG serving, either class).
+	lhs := cfg.IdleRate * s.ProbIdleWait
+	rhs := cfg.ServiceRate * (s.UtilBG1 + s.UtilBG2)
+	if math.Abs(lhs-rhs) > 1e-10*(1+rhs) {
+		t.Errorf("idle-wait flow: α·P(idle) %v != µ·P(BG) %v", lhs, rhs)
+	}
+	// State probabilities partition.
+	total := s.UtilFG + s.UtilBG1 + s.UtilBG2 + s.ProbIdleWait + s.ProbEmpty
+	if math.Abs(total-1) > 1e-8 {
+		t.Errorf("server-state probabilities sum to %v", total)
+	}
+	if math.Abs(s.TotalMass()-1) > 1e-8 {
+		t.Errorf("total mass %v", s.TotalMass())
+	}
+}
+
+func TestSimulatorAgreement(t *testing.T) {
+	cfg := mmppCfg(t, 0.35, 2, 0.4, 0.3, 3, 3, 1.0)
+	s := solve(t, cfg)
+	res, err := sim.RunMulti(sim.MultiConfig{
+		Arrival:     cfg.Arrival,
+		ServiceRate: cfg.ServiceRate,
+		BG1Prob:     cfg.BG1Prob,
+		BG2Prob:     cfg.BG2Prob,
+		BG1Buffer:   cfg.BG1Buffer,
+		BG2Buffer:   cfg.BG2Buffer,
+		IdleRate:    cfg.IdleRate,
+		Seed:        9,
+		WarmupTime:  1e4,
+		MeasureTime: 3e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, simV, anaV, absTol, relTol float64) {
+		t.Helper()
+		tol := math.Max(absTol, relTol*math.Abs(anaV))
+		if math.Abs(simV-anaV) > tol {
+			t.Errorf("%s: simulated %v vs analytic %v", name, simV, anaV)
+		}
+	}
+	check("QLenFG", res.QLenFG, s.QLenFG, 0.02, 0.05)
+	check("QLenBG1", res.QLenBG1, s.QLenBG1, 0.02, 0.05)
+	check("QLenBG2", res.QLenBG2, s.QLenBG2, 0.02, 0.05)
+	check("CompBG1", res.CompBG1, s.CompBG1, 0.01, 0.03)
+	check("CompBG2", res.CompBG2, s.CompBG2, 0.01, 0.03)
+	check("WaitPFG", res.WaitPFG, s.WaitPFG, 0.005, 0.05)
+	check("UtilBG1", res.UtilBG1, s.UtilBG1, 0.003, 0.05)
+	check("UtilBG2", res.UtilBG2, s.UtilBG2, 0.003, 0.05)
+	check("ProbIdleWait", res.ProbIdleWait, s.ProbIdleWait, 0.003, 0.05)
+}
+
+func TestSimulatorAgreementPerPeriod(t *testing.T) {
+	cfg := poissonCfg(t, 1.0, 2, 0.5, 0.4, 3, 3, 0.8)
+	cfg.IdlePolicy = core.IdleWaitPerPeriod
+	s := solve(t, cfg)
+	res, err := sim.RunMulti(sim.MultiConfig{
+		Arrival:     cfg.Arrival,
+		ServiceRate: cfg.ServiceRate,
+		BG1Prob:     cfg.BG1Prob,
+		BG2Prob:     cfg.BG2Prob,
+		BG1Buffer:   cfg.BG1Buffer,
+		BG2Buffer:   cfg.BG2Buffer,
+		IdleRate:    cfg.IdleRate,
+		IdlePolicy:  core.IdleWaitPerPeriod,
+		Seed:        4,
+		WarmupTime:  1e4,
+		MeasureTime: 2e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.QLenFG-s.QLenFG) > 0.05*s.QLenFG+0.02 {
+		t.Errorf("QLenFG: simulated %v vs analytic %v", res.QLenFG, s.QLenFG)
+	}
+	if math.Abs(res.CompBG1-s.CompBG1) > 0.02 {
+		t.Errorf("CompBG1: simulated %v vs analytic %v", res.CompBG1, s.CompBG1)
+	}
+	if math.Abs(res.CompBG2-s.CompBG2) > 0.02 {
+		t.Errorf("CompBG2: simulated %v vs analytic %v", res.CompBG2, s.CompBG2)
+	}
+}
+
+func TestSplitBracketedByPooledBuffers(t *testing.T) {
+	// Splitting a total spawn probability of 0.6 across two classes with
+	// buffers of 4 each gives 8 segregated slots: total BG throughput must
+	// land between a single class with a 4-slot buffer (fewer slots) and one
+	// with a pooled 8-slot buffer (same slots, freely shared).
+	total := 0.6
+	lower := solve(t, poissonCfg(t, 0.8, 2, total, 0, 4, 4, 1))
+	upper := solve(t, poissonCfg(t, 0.8, 2, total, 0, 8, 4, 1))
+	for _, p1 := range []float64{0.45, 0.3, 0.15} {
+		s := solve(t, poissonCfg(t, 0.8, 2, p1, total-p1, 4, 4, 1))
+		got := s.ThroughputBG1 + s.ThroughputBG2
+		if got < lower.ThroughputBG1-1e-9 || got > upper.ThroughputBG1+1e-9 {
+			t.Errorf("p1=%v: total BG throughput %v outside [%v, %v]",
+				p1, got, lower.ThroughputBG1, upper.ThroughputBG1)
+		}
+	}
+}
+
+func TestUnstableRejected(t *testing.T) {
+	m, err := NewModel(poissonCfg(t, 3, 2, 0.3, 0.3, 2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Solve(); err == nil {
+		t.Error("overloaded system solved")
+	}
+}
+
+func TestNoBackgroundAtAll(t *testing.T) {
+	s := solve(t, poissonCfg(t, 1, 2, 0, 0, 3, 3, 1))
+	if want := 0.5 / (1 - 0.5); math.Abs(s.QLenFG-want) > 1e-8 {
+		t.Errorf("QLenFG = %v, want M/M/1 %v", s.QLenFG, want)
+	}
+	if s.QLenBG1 != 0 || s.QLenBG2 != 0 || s.WaitPFG != 0 {
+		t.Errorf("BG metrics nonzero: %+v", s.Metrics)
+	}
+	if s.CompBG1 != 1 || s.CompBG2 != 1 {
+		t.Errorf("completion rates = %v, %v; want 1", s.CompBG1, s.CompBG2)
+	}
+}
+
+func BenchmarkSolveTwoClass(b *testing.B) {
+	cfg := mmppCfg(b, 0.3, 2, 0.3, 0.3, 5, 5, 2)
+	m, err := NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

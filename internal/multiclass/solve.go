@@ -1,0 +1,161 @@
+package multiclass
+
+import (
+	"fmt"
+
+	"bgperf/internal/qbd"
+)
+
+// Metrics are the steady-state quantities of the two-priority model,
+// mirroring the single-class core.Metrics with per-class splits.
+type Metrics struct {
+	// QLenFG is the average number of foreground jobs in the system.
+	QLenFG float64
+	// QLenBG1 and QLenBG2 are the per-class average background occupancies.
+	QLenBG1, QLenBG2 float64
+	// CompBG1 and CompBG2 are the per-class completion (admission) rates:
+	// the fraction of generated class-c jobs not dropped at a full class-c
+	// buffer. A class with zero spawn probability reports 1.
+	CompBG1, CompBG2 float64
+	// WaitPFG is the arrival-weighted fraction of foreground jobs that find
+	// any background job in service.
+	WaitPFG float64
+
+	// UtilFG, UtilBG1, UtilBG2 are the server-occupancy probabilities.
+	UtilFG, UtilBG1, UtilBG2 float64
+	// ProbIdleWait and ProbEmpty complete the server-state partition.
+	ProbIdleWait, ProbEmpty float64
+
+	// ThroughputFG and the per-class background throughputs (µ·P(serving)).
+	ThroughputFG, ThroughputBG1, ThroughputBG2 float64
+	// GenRateBG1/2 and DropRateBG1/2 are per-class generation and drop
+	// rates.
+	GenRateBG1, GenRateBG2   float64
+	DropRateBG1, DropRateBG2 float64
+	// RespTimeFG is the mean foreground response time (Little's law).
+	RespTimeFG float64
+}
+
+// Solution is a solved two-priority model.
+type Solution struct {
+	Metrics
+
+	model     *Model
+	sol       *qbd.Solution
+	repBlocks []block
+}
+
+// Solve builds and solves the QBD and assembles the metrics.
+func (m *Model) Solve() (*Solution, error) {
+	boundary, proc, err := m.qbdBlocks()
+	if err != nil {
+		return nil, err
+	}
+	qsol, err := qbd.Solve(boundary, proc)
+	if err != nil {
+		return nil, fmt.Errorf("multiclass: %w", err)
+	}
+	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.boundaryLevels() + 1)}
+	s.computeMetrics()
+	return s, nil
+}
+
+// maskedMass sums stationary probability over selected states with per-state
+// weights; weights must be affine in the level over repeating levels (all
+// uses here qualify).
+func (s *Solution) maskedMass(keep func(b block) bool, weight func(b block, level, phase int) float64) float64 {
+	m := s.model
+	a := m.phases
+	total := 0.0
+	for j := 0; j < m.boundaryLevels(); j++ {
+		pi := s.sol.BoundaryPi[j]
+		for bi, b := range m.levelBlocks(j) {
+			if !keep(b) {
+				continue
+			}
+			for ph := 0; ph < a; ph++ {
+				total += pi[bi*a+ph] * weight(b, j, ph)
+			}
+		}
+	}
+	first := s.sol.FirstRepLevel()
+	tail := s.sol.TailSum()
+	tailW := s.sol.TailWeightedSum()
+	for bi, b := range s.repBlocks {
+		if !keep(b) {
+			continue
+		}
+		for ph := 0; ph < a; ph++ {
+			w0 := weight(b, first, ph)
+			slope := weight(b, first+1, ph) - w0
+			idx := bi*a + ph
+			total += w0*tail[idx] + slope*tailW[idx]
+		}
+	}
+	return total
+}
+
+func (s *Solution) kindMass(k kind) float64 {
+	return s.maskedMass(
+		func(b block) bool { return b.kind == k },
+		func(block, int, int) float64 { return 1 },
+	)
+}
+
+func (s *Solution) computeMetrics() {
+	m := s.model
+	cfg := m.cfg
+	one := func(block, int, int) float64 { return 1 }
+	all := func(block) bool { return true }
+
+	s.UtilFG = s.kindMass(kindFG)
+	s.UtilBG1 = s.kindMass(kindBG1)
+	s.UtilBG2 = s.kindMass(kindBG2)
+	s.ProbIdleWait = s.kindMass(kindIdle)
+	s.ProbEmpty = s.kindMass(kindEmpty)
+
+	s.QLenFG = s.maskedMass(all, func(b block, level, _ int) float64 {
+		return float64(level - b.x1 - b.x2)
+	})
+	s.QLenBG1 = s.maskedMass(all, func(b block, _, _ int) float64 { return float64(b.x1) })
+	s.QLenBG2 = s.maskedMass(all, func(b block, _, _ int) float64 { return float64(b.x2) })
+
+	full1 := s.maskedMass(func(b block) bool { return b.kind == kindFG && b.x1 == cfg.BG1Buffer }, one)
+	full2 := s.maskedMass(func(b block) bool { return b.kind == kindFG && b.x2 == cfg.BG2Buffer }, one)
+	s.CompBG1, s.CompBG2 = 1, 1
+	if cfg.BG1Prob > 0 && s.UtilFG > 0 {
+		s.CompBG1 = 1 - full1/s.UtilFG
+	}
+	if cfg.BG2Prob > 0 && s.UtilFG > 0 {
+		s.CompBG2 = 1 - full2/s.UtilFG
+	}
+
+	rates := m.rateVec
+	lambdaEff := s.maskedMass(all, func(_ block, _ int, ph int) float64 { return rates[ph] })
+	if lambdaEff > 0 {
+		delayed := s.maskedMass(
+			func(b block) bool { return b.kind == kindBG1 || b.kind == kindBG2 },
+			func(_ block, _ int, ph int) float64 { return rates[ph] },
+		)
+		s.WaitPFG = delayed / lambdaEff
+	}
+
+	mu := cfg.ServiceRate
+	s.ThroughputFG = mu * s.UtilFG
+	s.ThroughputBG1 = mu * s.UtilBG1
+	s.ThroughputBG2 = mu * s.UtilBG2
+	s.GenRateBG1 = mu * cfg.BG1Prob * s.UtilFG
+	s.GenRateBG2 = mu * cfg.BG2Prob * s.UtilFG
+	if cfg.BG1Prob > 0 {
+		s.DropRateBG1 = mu * cfg.BG1Prob * full1
+	}
+	if cfg.BG2Prob > 0 {
+		s.DropRateBG2 = mu * cfg.BG2Prob * full2
+	}
+	if lambda := cfg.Arrival.Rate(); lambda > 0 {
+		s.RespTimeFG = s.QLenFG / lambda
+	}
+}
+
+// TotalMass returns the stationary probability mass (≈1).
+func (s *Solution) TotalMass() float64 { return s.sol.TotalMass() }

@@ -1,0 +1,273 @@
+package qbd
+
+import (
+	"fmt"
+
+	"bgperf/internal/mat"
+)
+
+// Boundary describes the level-dependent boundary portion of a QBD: levels
+// 0..B with arbitrary (possibly growing) sizes, after which the repeating
+// blocks (A0, A1, A2) of a Process take over at level B+1.
+type Boundary struct {
+	// Local[j] is the within-level generator block of boundary level j
+	// (including the diagonal), j = 0..B.
+	Local []*mat.Matrix
+	// Up[j] carries the rates from boundary level j to level j+1, j = 0..B.
+	// Up[B] leads into the first repeating level and must therefore have
+	// Process.Order() columns.
+	Up []*mat.Matrix
+	// Down[j] carries the rates from boundary level j to level j−1, j = 1..B.
+	// Down[0] is ignored and may be nil.
+	Down []*mat.Matrix
+	// RepDown carries the rates from the first repeating level (B+1) into
+	// boundary level B. When nil, the repeating A2 is used, which requires
+	// level B to have the repeating size.
+	RepDown *mat.Matrix
+}
+
+// levels returns the number of boundary levels B+1.
+func (b Boundary) levels() int { return len(b.Local) }
+
+func (b Boundary) validate(p *Process) error {
+	nb := b.levels()
+	if nb == 0 {
+		return fmt.Errorf("%w: boundary needs at least level 0", ErrInvalid)
+	}
+	if len(b.Up) != nb {
+		return fmt.Errorf("%w: %d Up blocks for %d boundary levels", ErrInvalid, len(b.Up), nb)
+	}
+	if len(b.Down) != nb {
+		return fmt.Errorf("%w: %d Down blocks for %d boundary levels", ErrInvalid, len(b.Down), nb)
+	}
+	for j := 0; j < nb; j++ {
+		n := b.Local[j].Rows()
+		if b.Local[j].Cols() != n {
+			return fmt.Errorf("%w: Local[%d] is %dx%d", ErrInvalid, j, n, b.Local[j].Cols())
+		}
+		wantUpCols := p.Order()
+		if j+1 < nb {
+			wantUpCols = b.Local[j+1].Rows()
+		}
+		if b.Up[j].Rows() != n || b.Up[j].Cols() != wantUpCols {
+			return fmt.Errorf("%w: Up[%d] is %dx%d, want %dx%d", ErrInvalid, j, b.Up[j].Rows(), b.Up[j].Cols(), n, wantUpCols)
+		}
+		if j > 0 {
+			prev := b.Local[j-1].Rows()
+			if b.Down[j] == nil || b.Down[j].Rows() != n || b.Down[j].Cols() != prev {
+				return fmt.Errorf("%w: Down[%d] must be %dx%d", ErrInvalid, j, n, prev)
+			}
+		}
+	}
+	repDown := b.RepDown
+	if repDown == nil {
+		if b.Local[nb-1].Rows() != p.Order() {
+			return fmt.Errorf("%w: implicit RepDown needs boundary level %d of size %d, got %d",
+				ErrInvalid, nb-1, p.Order(), b.Local[nb-1].Rows())
+		}
+	} else if repDown.Rows() != p.Order() || repDown.Cols() != b.Local[nb-1].Rows() {
+		return fmt.Errorf("%w: RepDown is %dx%d, want %dx%d", ErrInvalid,
+			repDown.Rows(), repDown.Cols(), p.Order(), b.Local[nb-1].Rows())
+	}
+	return nil
+}
+
+// Solution is the stationary distribution of a QBD with boundary: explicit
+// probability vectors for the boundary levels, the first repeating level, and
+// the rate matrix R generating all further levels geometrically.
+type Solution struct {
+	// BoundaryPi[j] is π_j for boundary level j (j = 0..B).
+	BoundaryPi [][]float64
+	// RepPi is π_{B+1}, the first repeating level.
+	RepPi []float64
+	// R is the rate matrix: π_{B+1+k} = RepPi · R^k.
+	R *mat.Matrix
+
+	firstRep int         // index of the first repeating level (B+1)
+	sumR     *mat.Matrix // (I−R)⁻¹, cached
+}
+
+// Solve computes the stationary distribution of the QBD with the given
+// boundary by linear level reduction — block LU elimination on the block-
+// tridiagonal balance equations, O(Σ n_j³) instead of a dense O((Σ n_j)³)
+// global solve. It returns ErrUnstable for non-positive-recurrent processes.
+func Solve(b Boundary, p *Process) (*Solution, error) {
+	if err := b.validate(p); err != nil {
+		return nil, err
+	}
+	r, err := p.R()
+	if err != nil {
+		return nil, err
+	}
+	m := p.Order()
+	id := mat.Identity(m)
+	sumR, err := mat.Inverse(id.SubMat(r)) // (I−R)⁻¹
+	if err != nil {
+		return nil, fmt.Errorf("qbd: (I−R) singular: %w", err)
+	}
+
+	nb := b.levels()
+	repDown := b.RepDown
+	if repDown == nil {
+		repDown = p.a2
+	}
+
+	// Backward sweep: fold each level's equation into the one below.
+	// S_{B+1} = A1 + R·A2 (the censored top level); then
+	// S_j = Local_j + Up_j·(−S_{j+1})⁻¹·Down_{j+1}. Each folded level also
+	// yields the propagation matrix T_{j+1} = Up_j·(−S_{j+1})⁻¹ used by the
+	// forward sweep π_{j+1} = π_j·T_{j+1}.
+	sTop := p.a1.AddMat(r.Mul(p.a2))
+	prop := make([]*mat.Matrix, nb+1) // prop[j]: π_j = π_{j−1}·prop[j], j ≥ 1
+	s := sTop
+	for j := nb; j >= 1; j-- {
+		negInv, err := mat.Inverse(s.Clone().Scale(-1))
+		if err != nil {
+			return nil, fmt.Errorf("qbd: level reduction at %d: %w", j, err)
+		}
+		prop[j] = b.Up[j-1].Mul(negInv)
+		down := repDown
+		if j < nb {
+			down = b.Down[j]
+		}
+		s = b.Local[j-1].AddMat(prop[j].Mul(down))
+	}
+
+	// π_0 spans the one-dimensional left null space of S_0.
+	pi0, err := leftNullVector(s)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: boundary level 0: %w", err)
+	}
+
+	// Forward sweep and global normalization.
+	sol := &Solution{R: r, firstRep: nb, sumR: sumR}
+	sol.BoundaryPi = make([][]float64, nb)
+	cur := pi0
+	total := 0.0
+	for j := 0; j < nb; j++ {
+		sol.BoundaryPi[j] = cur
+		total += mat.Sum(cur)
+		cur = prop[j+1].Transpose().MulVec(cur)
+	}
+	sol.RepPi = cur
+	total += mat.Dot(cur, sumR.RowSums())
+	if total <= 0 {
+		return nil, fmt.Errorf("qbd: nonpositive boundary mass %g", total)
+	}
+	for j := range sol.BoundaryPi {
+		sol.BoundaryPi[j] = clampProbs(mat.ScaleVec(sol.BoundaryPi[j], 1/total))
+	}
+	sol.RepPi = clampProbs(mat.ScaleVec(sol.RepPi, 1/total))
+	return sol, nil
+}
+
+// leftNullVector returns the (nonnegative, sum-1) left null vector of the
+// generator-like matrix s, whose rank defect is one for an irreducible
+// censored chain.
+func leftNullVector(s *mat.Matrix) ([]float64, error) {
+	n := s.Rows()
+	a := s.Clone()
+	for i := 0; i < n; i++ {
+		a.Set(i, n-1, 1)
+	}
+	rhs := make([]float64, n)
+	rhs[n-1] = 1
+	x, err := mat.SolveLeft(a, rhs)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for i, v := range x {
+		if v < 0 {
+			if v < -1e-8 {
+				return nil, fmt.Errorf("negative null-vector mass %g at %d", v, i)
+			}
+			x[i] = 0
+			v = 0
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("zero null vector")
+	}
+	return mat.ScaleVec(x, 1/sum), nil
+}
+
+// clampProbs zeroes tiny negative round-off in stationary masses.
+func clampProbs(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v < 0 && v > -1e-10 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FirstRepLevel returns the index of the first repeating level (B+1).
+func (s *Solution) FirstRepLevel() int { return s.firstRep }
+
+// LevelPi returns the stationary vector of an arbitrary level, computing
+// RepPi·R^k on demand for repeating levels.
+func (s *Solution) LevelPi(level int) []float64 {
+	if level < s.firstRep {
+		out := make([]float64, len(s.BoundaryPi[level]))
+		copy(out, s.BoundaryPi[level])
+		return out
+	}
+	v := make([]float64, len(s.RepPi))
+	copy(v, s.RepPi)
+	for k := s.firstRep; k < level; k++ {
+		v = s.R.Transpose().MulVec(v)
+	}
+	return v
+}
+
+// TailSum returns Σ_{k≥0} RepPi·R^k = RepPi·(I−R)⁻¹, the total probability
+// vector of all repeating levels by phase.
+func (s *Solution) TailSum() []float64 {
+	return s.sumR.Transpose().MulVec(s.RepPi)
+}
+
+// TailWeightedSum returns Σ_{k≥0} k·RepPi·R^k = RepPi·R·(I−R)⁻², used for
+// first moments over the geometric tail.
+func (s *Solution) TailWeightedSum() []float64 {
+	v := s.sumR.Mul(s.sumR).Transpose().MulVec(s.RepPi)
+	return s.R.Transpose().MulVec(v)
+}
+
+// TailSquareWeightedSum returns Σ_{k≥0} k²·RepPi·R^k = RepPi·R(I+R)·(I−R)⁻³,
+// used for second moments over the geometric tail.
+func (s *Solution) TailSquareWeightedSum() []float64 {
+	m := s.R.Rows()
+	cube := s.sumR.Mul(s.sumR).Mul(s.sumR)
+	factor := s.R.Mul(mat.Identity(m).AddMat(s.R)).Mul(cube)
+	return factor.Transpose().MulVec(s.RepPi)
+}
+
+// TotalMass returns the total probability mass (1 up to numerical error).
+func (s *Solution) TotalMass() float64 {
+	total := 0.0
+	for _, pi := range s.BoundaryPi {
+		total += mat.Sum(pi)
+	}
+	return total + mat.Sum(s.TailSum())
+}
+
+// MeanLevel returns E[level] — for a queueing chain whose level counts
+// customers, the mean number in system.
+func (s *Solution) MeanLevel() float64 {
+	var mean float64
+	for j, pi := range s.BoundaryPi {
+		mean += float64(j) * mat.Sum(pi)
+	}
+	mean += float64(s.firstRep) * mat.Sum(s.TailSum())
+	mean += mat.Sum(s.TailWeightedSum())
+	return mean
+}
+
+// LevelMass returns the total probability of one level.
+func (s *Solution) LevelMass(level int) float64 {
+	return mat.Sum(s.LevelPi(level))
+}

@@ -1,0 +1,74 @@
+package qbd
+
+import (
+	"fmt"
+
+	"bgperf/internal/mat"
+)
+
+// MeanFirstPassageDown returns, per starting phase, the expected time for
+// the level process to first move one level down, starting from a repeating
+// level — the mean of Neuts' "fundamental period". Conditioning on the first
+// event yields the linear system
+//
+//	(A1 + A0 + A0·G)·τ = −1,
+//
+// because an upward jump costs one nested fundamental period (ending in a
+// phase distributed by the corresponding row of G) before progress resumes.
+// For the M/M/1 special case this reduces to the classical busy-period mean
+// 1/(µ−λ).
+func (p *Process) MeanFirstPassageDown() ([]float64, error) {
+	stable, err := p.Stable()
+	if err != nil {
+		return nil, err
+	}
+	if !stable {
+		// Downward passage happens with probability < 1 (or takes infinite
+		// expected time at criticality); the mean is undefined.
+		return nil, fmt.Errorf("%w: mean downward passage time is infinite", ErrUnstable)
+	}
+	g, err := p.G()
+	if err != nil {
+		return nil, err
+	}
+	sys := p.a1.AddMat(p.a0).AddInPlace(p.a0.Mul(g)).Scale(-1)
+	tau, err := mat.Solve(sys, mat.Ones(p.order))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: first passage system: %w", err)
+	}
+	for i, v := range tau {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: negative passage time %g in phase %d", ErrNoConvergence, v, i)
+		}
+	}
+	return tau, nil
+}
+
+// MeanFirstPassageLevels returns the expected time to descend k levels from
+// a repeating level, per starting phase: the passage times accumulate along
+// the phase distributions G, G², … of successive arrivals at lower levels.
+func (p *Process) MeanFirstPassageLevels(k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: passage depth %d", ErrInvalid, k)
+	}
+	tau, err := p.MeanFirstPassageDown()
+	if err != nil {
+		return nil, err
+	}
+	g, err := p.G()
+	if err != nil {
+		return nil, err
+	}
+	total := make([]float64, p.order)
+	copy(total, tau)
+	// dist rows track the phase distribution after each completed descent.
+	dist := mat.Identity(p.order)
+	for step := 1; step < k; step++ {
+		dist = dist.Mul(g)
+		add := dist.MulVec(tau)
+		for i := range total {
+			total[i] += add[i]
+		}
+	}
+	return total, nil
+}

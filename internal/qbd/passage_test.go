@@ -1,0 +1,71 @@
+package qbd
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMeanFirstPassageDownMM1(t *testing.T) {
+	// M/M/1 busy period mean: 1/(µ−λ).
+	for _, tt := range []struct{ lambda, mu float64 }{
+		{1, 2}, {0.5, 1}, {3, 4},
+	} {
+		p, _ := mm1(tt.lambda, tt.mu)
+		tau, err := p.MeanFirstPassageDown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (tt.mu - tt.lambda)
+		if math.Abs(tau[0]-want) > 1e-10*want {
+			t.Errorf("λ=%v µ=%v: passage time %v, want %v", tt.lambda, tt.mu, tau[0], want)
+		}
+	}
+}
+
+func TestMeanFirstPassageDownMG1(t *testing.T) {
+	// M/G/1 busy period mean: E[S]/(1−ρ), for Erlang-2 service starting a
+	// fresh service (phase 0).
+	const lambda, mu = 0.6, 1.0
+	p, _ := me2q(lambda, mu)
+	tau, err := p.MeanFirstPassageDown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	want := (1 / mu) / (1 - rho)
+	if math.Abs(tau[0]-want) > 1e-10*want {
+		t.Errorf("busy period %v, want %v", tau[0], want)
+	}
+	// Starting mid-service (phase 1, half the work left) must be shorter.
+	if tau[1] >= tau[0] {
+		t.Errorf("mid-service passage %v not below fresh-service %v", tau[1], tau[0])
+	}
+}
+
+func TestMeanFirstPassageLevels(t *testing.T) {
+	// In M/M/1 the k-level descent is k independent busy periods.
+	p, _ := mm1(1, 2)
+	for _, k := range []int{1, 2, 5} {
+		tau, err := p.MeanFirstPassageLevels(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k) / (2 - 1)
+		if math.Abs(tau[0]-want) > 1e-9*want {
+			t.Errorf("k=%d: %v, want %v", k, tau[0], want)
+		}
+	}
+	if _, err := p.MeanFirstPassageLevels(0); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestMeanFirstPassageUnstableRejected(t *testing.T) {
+	// The mean downward passage time is infinite for non-positive-recurrent
+	// processes; the call must fail rather than return a huge number.
+	p, _ := mm1(2, 1)
+	if _, err := p.MeanFirstPassageDown(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("error = %v, want ErrUnstable", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package qbd solves Quasi-Birth-Death processes — continuous-time Markov
+// chains whose generator is block tridiagonal with a repeating portion —
+// using the matrix-geometric method of Neuts and the logarithmic-reduction
+// algorithm of Latouche and Ramaswami, the same machinery the paper cites
+// ([10]) for solving its foreground/background model.
+//
+// A QBD is described by the repeating blocks (A0, A1, A2): A0 carries the
+// rates one level up, A2 one level down, and A1 the within-level rates
+// including the negative diagonal. The stationary distribution of the
+// repeating levels is matrix-geometric, π_{j+1} = π_j·R, where R is the
+// minimal nonnegative solution of A0 + R·A1 + R²·A2 = 0.
+package qbd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bgperf/internal/markov"
+	"bgperf/internal/mat"
+)
+
+// ErrInvalid reports malformed QBD blocks.
+var ErrInvalid = errors.New("qbd: invalid process")
+
+// ErrUnstable reports a QBD whose drift condition fails (no stationary
+// distribution).
+var ErrUnstable = errors.New("qbd: process is not positive recurrent")
+
+// ErrNoConvergence reports an iterative solver that did not converge.
+var ErrNoConvergence = errors.New("qbd: iteration did not converge")
+
+// Process holds the repeating blocks of a QBD.
+type Process struct {
+	a0, a1, a2 *mat.Matrix
+	order      int
+}
+
+// New validates the repeating blocks and returns the process. A0 and A2 must
+// be entrywise nonnegative, A1 must have nonnegative off-diagonal entries,
+// and A = A0+A1+A2 must be an irreducible generator.
+func New(a0, a1, a2 *mat.Matrix) (*Process, error) {
+	m := a0.Rows()
+	for name, b := range map[string]*mat.Matrix{"A0": a0, "A1": a1, "A2": a2} {
+		if b.Rows() != m || b.Cols() != m {
+			return nil, fmt.Errorf("%w: %s is %dx%d, want %dx%d", ErrInvalid, name, b.Rows(), b.Cols(), m, m)
+		}
+		if !b.IsFinite() {
+			return nil, fmt.Errorf("%w: %s has non-finite entries", ErrInvalid, name)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if a0.At(i, j) < 0 || a2.At(i, j) < 0 {
+				return nil, fmt.Errorf("%w: negative rate in A0/A2 at (%d,%d)", ErrInvalid, i, j)
+			}
+			if i != j && a1.At(i, j) < 0 {
+				return nil, fmt.Errorf("%w: negative off-diagonal in A1 at (%d,%d)", ErrInvalid, i, j)
+			}
+		}
+	}
+	sum := a0.AddMat(a1).AddInPlace(a2)
+	if err := markov.CheckGenerator(sum, 1e-8); err != nil {
+		return nil, fmt.Errorf("%w: A0+A1+A2: %v", ErrInvalid, err)
+	}
+	return &Process{a0: a0.Clone(), a1: a1.Clone(), a2: a2.Clone(), order: m}, nil
+}
+
+// Order returns the per-level block size.
+func (p *Process) Order() int { return p.order }
+
+// A0 returns a copy of the up-transition block.
+func (p *Process) A0() *mat.Matrix { return p.a0.Clone() }
+
+// A1 returns a copy of the local block.
+func (p *Process) A1() *mat.Matrix { return p.a1.Clone() }
+
+// A2 returns a copy of the down-transition block.
+func (p *Process) A2() *mat.Matrix { return p.a2.Clone() }
+
+// Drift returns the mean upward and downward drift rates (φA0e, φA2e) under
+// the stationary phase distribution φ of the generator A = A0+A1+A2. The
+// process is positive recurrent iff up < down.
+func (p *Process) Drift() (up, down float64, err error) {
+	a := p.a0.AddMat(p.a1).AddInPlace(p.a2)
+	var phi []float64
+	if p.order == 1 {
+		phi = []float64{1}
+	} else {
+		// Note: A may be reducible with a single recurrent class (e.g. the
+		// paper's chain, where BG-serving phases are entered only from the
+		// boundary). The LU-based solve handles that — transient phases get
+		// zero mass — whereas GTH would reject the chain outright.
+		phi, err = markov.StationaryCTMC(a)
+		if err != nil {
+			return 0, 0, fmt.Errorf("qbd: drift: %w", err)
+		}
+	}
+	up = mat.Dot(phi, p.a0.RowSums())
+	down = mat.Dot(phi, p.a2.RowSums())
+	return up, down, nil
+}
+
+// Stable reports whether the QBD is positive recurrent (mean drift strictly
+// downward).
+func (p *Process) Stable() (bool, error) {
+	up, down, err := p.Drift()
+	if err != nil {
+		return false, err
+	}
+	return up < down, nil
+}
+
+// G computes the first-passage matrix G — entry (i,j) is the probability that
+// the process, started in phase i of level n+1, first enters level n in phase
+// j — by logarithmic reduction on the uniformized chain. For a recurrent QBD,
+// G is stochastic.
+func (p *Process) G() (*mat.Matrix, error) {
+	// Uniformize: the diagonal lives in A1.
+	theta := 0.0
+	for i := 0; i < p.order; i++ {
+		if d := -p.a1.At(i, i); d > theta {
+			theta = d
+		}
+	}
+	if theta == 0 {
+		return nil, fmt.Errorf("%w: zero generator", ErrInvalid)
+	}
+	theta *= 1 + 1e-12
+	b0 := p.a0.Clone().Scale(1 / theta)
+	b1 := p.a1.Clone().Scale(1 / theta)
+	for i := 0; i < p.order; i++ {
+		b1.Add(i, i, 1)
+	}
+	b2 := p.a2.Clone().Scale(1 / theta)
+	return logReduction(b0, b1, b2)
+}
+
+// logReduction runs the Latouche–Ramaswami logarithmic-reduction algorithm on
+// the DTMC blocks (b0 up, b1 local, b2 down).
+func logReduction(b0, b1, b2 *mat.Matrix) (*mat.Matrix, error) {
+	m := b0.Rows()
+	id := mat.Identity(m)
+	inv, err := mat.Inverse(id.SubMat(b1))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: logarithmic reduction: %w", err)
+	}
+	h := inv.Mul(b0) // level-up kernel
+	l := inv.Mul(b2) // level-down kernel
+	g := l.Clone()
+	t := h.Clone()
+	const maxIter = 200
+	for iter := 0; iter < maxIter; iter++ {
+		u := h.Mul(l).AddInPlace(l.Mul(h))
+		hh := h.Mul(h)
+		ll := l.Mul(l)
+		inv, err = mat.Inverse(id.SubMat(u))
+		if err != nil {
+			return nil, fmt.Errorf("qbd: logarithmic reduction step %d: %w", iter, err)
+		}
+		h = inv.Mul(hh)
+		l = inv.Mul(ll)
+		g.AddInPlace(t.Mul(l))
+		// For a recurrent QBD the row sums of G approach one; the defect
+		// measures remaining mass. For transient chains this never reaches
+		// zero, so also stop when the update becomes negligible.
+		defect := 0.0
+		for _, s := range g.RowSums() {
+			if d := math.Abs(1 - s); d > defect {
+				defect = d
+			}
+		}
+		step := t.Mul(l).MaxAbs()
+		if defect < 1e-13 || step < 1e-15 {
+			return g, nil
+		}
+		t = t.Mul(h)
+	}
+	return nil, fmt.Errorf("%w: logarithmic reduction after %d iterations", ErrNoConvergence, maxIter)
+}
+
+// R computes the rate matrix R, the minimal nonnegative solution of
+// A0 + R·A1 + R²·A2 = 0, via R = A0·(−(A1 + A0·G))⁻¹. The spectral radius of
+// R is < 1 exactly when the process is stable.
+func (p *Process) R() (*mat.Matrix, error) {
+	stable, err := p.Stable()
+	if err != nil {
+		return nil, err
+	}
+	if !stable {
+		up, down, _ := p.Drift()
+		return nil, fmt.Errorf("%w: upward drift %.6g >= downward drift %.6g", ErrUnstable, up, down)
+	}
+	g, err := p.G()
+	if err != nil {
+		return nil, err
+	}
+	u := p.a1.AddMat(p.a0.Mul(g)).Scale(-1)
+	inv, err := mat.Inverse(u)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: R: %w", err)
+	}
+	r := p.a0.Mul(inv)
+	// Clamp round-off negatives: R is nonnegative in exact arithmetic.
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Cols(); j++ {
+			if v := r.At(i, j); v < 0 {
+				if v < -1e-9 {
+					return nil, fmt.Errorf("%w: R has negative entry %g", ErrNoConvergence, v)
+				}
+				r.Set(i, j, 0)
+			}
+		}
+	}
+	return r, nil
+}
+
+// RByIteration computes R by the classical functional iteration
+// R ← −(A0 + R²A2)·A1⁻¹, mainly as an independent cross-check of the
+// logarithmic-reduction path. tol is the max-abs change stopping criterion.
+func (p *Process) RByIteration(tol float64, maxIter int) (*mat.Matrix, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	invA1, err := mat.Inverse(p.a1)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: RByIteration: %w", err)
+	}
+	m := p.order
+	r := mat.New(m, m)
+	for iter := 0; iter < maxIter; iter++ {
+		next := p.a0.AddMat(r.Mul(r).Mul(p.a2)).Mul(invA1).Scale(-1)
+		diff := next.SubMat(r).MaxAbs()
+		r = next
+		if diff < tol {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: functional iteration after %d steps", ErrNoConvergence, maxIter)
+}

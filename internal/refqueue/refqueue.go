@@ -1,0 +1,120 @@
+// Package refqueue collects classical closed-form queueing results used as
+// independent oracles for the matrix-analytic solver and as the baseline
+// the paper's related work builds on: M/M/1, M/M/1/K, the Pollaczek–
+// Khinchine M/G/1 formulas, and the M/G/1 queue with multiple server
+// vacations (the decomposition behind vacation-model treatments of
+// background work, e.g. the paper's reference [2]).
+//
+// All functions are pure formulas; errors flag parameter ranges where the
+// formula is undefined (ρ ≥ 1 and similar).
+package refqueue
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrParams reports parameters outside a formula's domain.
+var ErrParams = errors.New("refqueue: invalid parameters")
+
+// MM1QueueLength returns E[N] = ρ/(1−ρ) for the M/M/1 queue.
+func MM1QueueLength(rho float64) (float64, error) {
+	if rho < 0 || rho >= 1 {
+		return 0, fmt.Errorf("%w: utilization %g outside [0,1)", ErrParams, rho)
+	}
+	return rho / (1 - rho), nil
+}
+
+// MM1Wait returns the mean waiting time (excluding service) of the M/M/1
+// queue with arrival rate lambda and service rate mu.
+func MM1Wait(lambda, mu float64) (float64, error) {
+	if lambda < 0 || mu <= 0 || lambda >= mu {
+		return 0, fmt.Errorf("%w: λ=%g µ=%g", ErrParams, lambda, mu)
+	}
+	rho := lambda / mu
+	return rho / (mu - lambda), nil
+}
+
+// MM1KDist returns the stationary distribution [P(N=0) … P(N=K)] of the
+// M/M/1/K queue (K waiting-plus-service slots). Defined for any rho ≥ 0,
+// including rho ≥ 1.
+func MM1KDist(rho float64, k int) ([]float64, error) {
+	if rho < 0 || k < 1 {
+		return nil, fmt.Errorf("%w: rho=%g K=%d", ErrParams, rho, k)
+	}
+	dist := make([]float64, k+1)
+	if rho == 1 {
+		for i := range dist {
+			dist[i] = 1 / float64(k+1)
+		}
+		return dist, nil
+	}
+	norm := (1 - math.Pow(rho, float64(k+1))) / (1 - rho)
+	for i := 0; i <= k; i++ {
+		dist[i] = math.Pow(rho, float64(i)) / norm
+	}
+	return dist, nil
+}
+
+// MM1KBlocking returns the blocking probability P(N=K) of the M/M/1/K
+// queue.
+func MM1KBlocking(rho float64, k int) (float64, error) {
+	dist, err := MM1KDist(rho, k)
+	if err != nil {
+		return 0, err
+	}
+	return dist[k], nil
+}
+
+// MG1QueueLength returns the Pollaczek–Khinchine mean population of the
+// M/G/1 queue: E[N] = ρ + ρ²(1+cs²)/(2(1−ρ)).
+func MG1QueueLength(rho, serviceSCV float64) (float64, error) {
+	if rho < 0 || rho >= 1 || serviceSCV < 0 {
+		return 0, fmt.Errorf("%w: rho=%g scv=%g", ErrParams, rho, serviceSCV)
+	}
+	return rho + rho*rho*(1+serviceSCV)/(2*(1-rho)), nil
+}
+
+// MG1Wait returns the Pollaczek–Khinchine mean waiting time
+// E[W] = λ·E[S²]/(2(1−ρ)) of the M/G/1 queue, from the first two service
+// moments.
+func MG1Wait(lambda, svcMean, svcM2 float64) (float64, error) {
+	rho := lambda * svcMean
+	if lambda < 0 || svcMean <= 0 || svcM2 < svcMean*svcMean || rho >= 1 {
+		return 0, fmt.Errorf("%w: λ=%g E[S]=%g E[S²]=%g", ErrParams, lambda, svcMean, svcM2)
+	}
+	return lambda * svcM2 / (2 * (1 - rho)), nil
+}
+
+// MG1VacationWait returns the mean waiting time of the M/G/1 queue with
+// multiple server vacations (Takagi's decomposition): whenever the queue
+// empties the server takes i.i.d. vacations V back to back until work is
+// present, and
+//
+//	E[W] = λ·E[S²]/(2(1−ρ)) + E[V²]/(2·E[V]).
+//
+// The second term is the mean residual vacation an arriving customer waits
+// out — the classical way to account for background work stealing the
+// server, and the approximation the exact chain is compared against in the
+// baseline experiment.
+func MG1VacationWait(lambda, svcMean, svcM2, vacMean, vacM2 float64) (float64, error) {
+	base, err := MG1Wait(lambda, svcMean, svcM2)
+	if err != nil {
+		return 0, err
+	}
+	if vacMean <= 0 || vacM2 < vacMean*vacMean {
+		return 0, fmt.Errorf("%w: E[V]=%g E[V²]=%g", ErrParams, vacMean, vacM2)
+	}
+	return base + vacM2/(2*vacMean), nil
+}
+
+// MG1VacationQueueLength returns the mean population of the multiple-
+// vacation M/G/1 queue by Little's law, E[N] = λ(E[W]+E[S]).
+func MG1VacationQueueLength(lambda, svcMean, svcM2, vacMean, vacM2 float64) (float64, error) {
+	w, err := MG1VacationWait(lambda, svcMean, svcM2, vacMean, vacM2)
+	if err != nil {
+		return 0, err
+	}
+	return lambda * (w + svcMean), nil
+}

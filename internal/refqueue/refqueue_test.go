@@ -1,0 +1,133 @@
+package refqueue
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1QueueLength(t *testing.T) {
+	got, err := MM1QueueLength(0.5)
+	if err != nil || got != 1 {
+		t.Errorf("E[N](0.5) = %v, %v; want 1", got, err)
+	}
+	if _, err := MM1QueueLength(1); err == nil {
+		t.Error("critical load accepted")
+	}
+	if _, err := MM1QueueLength(-0.1); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestMM1Wait(t *testing.T) {
+	// λ=1, µ=2: W = ρ/(µ−λ) = 0.5.
+	got, err := MM1Wait(1, 2)
+	if err != nil || math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("W = %v, %v; want 0.5", got, err)
+	}
+	if _, err := MM1Wait(2, 2); err == nil {
+		t.Error("λ = µ accepted")
+	}
+}
+
+func TestMM1KDist(t *testing.T) {
+	dist, err := MM1KDist(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// π ∝ (1, 0.5, 0.25): norm 1.75.
+	want := []float64{4.0 / 7, 2.0 / 7, 1.0 / 7}
+	for i := range want {
+		if math.Abs(dist[i]-want[i]) > 1e-12 {
+			t.Errorf("π[%d] = %v, want %v", i, dist[i], want[i])
+		}
+	}
+	// ρ = 1: uniform.
+	uni, err := MM1KDist(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range uni {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("critical M/M/1/K not uniform: %v", uni)
+		}
+	}
+	// Overload is fine for a finite buffer.
+	over, err := MM1KDist(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over[2] < over[0] {
+		t.Error("overloaded M/M/1/K should pile at the top")
+	}
+	if _, err := MM1KDist(0.5, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestMM1KBlocking(t *testing.T) {
+	b, err := MM1KBlocking(0.5, 2)
+	if err != nil || math.Abs(b-1.0/7) > 1e-12 {
+		t.Errorf("blocking = %v, %v; want 1/7", b, err)
+	}
+}
+
+func TestMG1QueueLength(t *testing.T) {
+	// Exponential service (scv 1) reduces to M/M/1.
+	mm1, _ := MM1QueueLength(0.6)
+	mg1, err := MG1QueueLength(0.6, 1)
+	if err != nil || math.Abs(mg1-mm1) > 1e-12 {
+		t.Errorf("M/G/1(scv=1) = %v, M/M/1 = %v", mg1, mm1)
+	}
+	// Deterministic service (scv 0) halves the queueing term.
+	det, _ := MG1QueueLength(0.6, 0)
+	if det >= mg1 {
+		t.Errorf("deterministic %v not below exponential %v", det, mg1)
+	}
+	if _, err := MG1QueueLength(1.2, 1); err == nil {
+		t.Error("overload accepted")
+	}
+}
+
+func TestMG1Wait(t *testing.T) {
+	// Exponential service: E[S²] = 2/µ²; W = ρ/(µ−λ).
+	lambda, mu := 1.0, 2.0
+	w, err := MG1Wait(lambda, 1/mu, 2/(mu*mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.5; math.Abs(w-want) > 1e-12 {
+		t.Errorf("W = %v, want %v", w, want)
+	}
+	if _, err := MG1Wait(1, 0.5, 0.1); err == nil {
+		t.Error("E[S²] < E[S]² accepted")
+	}
+}
+
+func TestMG1VacationWait(t *testing.T) {
+	// Exponential vacations of mean v add exactly v (residual of an
+	// exponential is its mean).
+	lambda, mu, v := 1.0, 2.0, 0.25
+	base, _ := MG1Wait(lambda, 1/mu, 2/(mu*mu))
+	w, err := MG1VacationWait(lambda, 1/mu, 2/(mu*mu), v, 2*v*v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-(base+v)) > 1e-12 {
+		t.Errorf("vacation W = %v, want %v", w, base+v)
+	}
+	if _, err := MG1VacationWait(lambda, 1/mu, 2/(mu*mu), 0, 0); err == nil {
+		t.Error("zero vacation accepted")
+	}
+}
+
+func TestMG1VacationQueueLength(t *testing.T) {
+	lambda, mu, v := 1.0, 2.0, 0.25
+	w, _ := MG1VacationWait(lambda, 1/mu, 2/(mu*mu), v, 2*v*v)
+	n, err := MG1VacationQueueLength(lambda, 1/mu, 2/(mu*mu), v, 2*v*v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-lambda*(w+1/mu)) > 1e-12 {
+		t.Error("Little inconsistency")
+	}
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+)
+
+// ErrMultiConfig reports an invalid two-priority simulation configuration.
+var ErrMultiConfig = errors.New("sim: invalid multiclass configuration")
+
+// MultiConfig parameterizes a two-priority background simulation, mirroring
+// multiclass.Config: class 1 is served before class 2 whenever the idle wait
+// expires.
+type MultiConfig struct {
+	// Arrival is the foreground arrival process.
+	Arrival *arrival.MAP
+	// ServiceRate is the exponential service rate for all classes.
+	ServiceRate float64
+	// BG1Prob and BG2Prob are the per-completion spawn probabilities.
+	BG1Prob, BG2Prob float64
+	// BG1Buffer and BG2Buffer are the per-class buffer capacities.
+	BG1Buffer, BG2Buffer int
+	// IdleRate is the idle-wait rate.
+	IdleRate float64
+	// IdlePolicy selects per-job or per-period re-arming (zero: per-job).
+	IdlePolicy core.IdleWaitPolicy
+
+	// Seed, WarmupTime, MeasureTime as in Config.
+	Seed        int64
+	WarmupTime  float64
+	MeasureTime float64
+}
+
+func (c MultiConfig) withDefaults() MultiConfig {
+	if c.IdlePolicy == 0 {
+		c.IdlePolicy = core.IdleWaitPerJob
+	}
+	return c
+}
+
+func (c MultiConfig) validate() error {
+	switch {
+	case c.Arrival == nil:
+		return fmt.Errorf("%w: nil arrival process", ErrMultiConfig)
+	case c.ServiceRate <= 0:
+		return fmt.Errorf("%w: service rate %g", ErrMultiConfig, c.ServiceRate)
+	case c.BG1Prob < 0 || c.BG2Prob < 0 || c.BG1Prob+c.BG2Prob > 1:
+		return fmt.Errorf("%w: spawn probabilities (%g, %g)", ErrMultiConfig, c.BG1Prob, c.BG2Prob)
+	case c.BG1Buffer < 0 || c.BG2Buffer < 0:
+		return fmt.Errorf("%w: negative buffer", ErrMultiConfig)
+	case (c.BG1Prob > 0 && c.BG1Buffer > 0 || c.BG2Prob > 0 && c.BG2Buffer > 0) && c.IdleRate <= 0:
+		return fmt.Errorf("%w: idle rate required with background work", ErrMultiConfig)
+	case c.MeasureTime <= 0:
+		return fmt.Errorf("%w: measurement window %g", ErrMultiConfig, c.MeasureTime)
+	case c.WarmupTime < 0:
+		return fmt.Errorf("%w: negative warmup", ErrMultiConfig)
+	}
+	return nil
+}
+
+// MultiCounters are raw event counts of a two-priority run.
+type MultiCounters struct {
+	ArrivalsFG   int64
+	CompletedFG  int64
+	DelayedFG    int64
+	GeneratedBG1 int64
+	GeneratedBG2 int64
+	DroppedBG1   int64
+	DroppedBG2   int64
+	CompletedBG1 int64
+	CompletedBG2 int64
+}
+
+// MultiResult holds measured estimates of a two-priority run. The metric
+// names mirror multiclass.Metrics.
+type MultiResult struct {
+	QLenFG, QLenBG1, QLenBG2     float64
+	CompBG1, CompBG2, WaitPFG    float64
+	UtilFG, UtilBG1, UtilBG2     float64
+	ProbIdleWait, ProbEmpty      float64
+	ThroughputBG1, ThroughputBG2 float64
+	Counters                     MultiCounters
+	SimTime                      float64
+}
+
+type multiState int
+
+const (
+	mIdle multiState = iota
+	mIdleWait
+	mServingFG
+	mServingBG1
+	mServingBG2
+)
+
+// RunMulti simulates the two-priority system.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var (
+		rng     = rand.New(rand.NewSource(cfg.Seed ^ 0x2c1a55))
+		sampler = arrival.NewSampler(cfg.Arrival, cfg.Seed)
+
+		now        float64
+		state      = mIdle
+		fgQueue    int
+		bg1, bg2   int // waiting per class (excluding in service)
+		nextArr    = sampler.Next()
+		serviceEnd = math.MaxFloat64
+		idleExp    = math.MaxFloat64
+
+		measStart = cfg.WarmupTime
+		measEnd   = cfg.WarmupTime + cfg.MeasureTime
+
+		res                      MultiResult
+		fgArea, bg1Area, bg2Area float64
+		utilFG, utilB1, utilB2   float64
+		idleW, emptyT            float64
+	)
+	expo := func(rate float64) float64 { return -math.Log(1-rng.Float64()) / rate }
+	counts := func() (nf, n1, n2 float64) {
+		nf, n1, n2 = float64(fgQueue), float64(bg1), float64(bg2)
+		switch state {
+		case mServingFG:
+			nf++
+		case mServingBG1:
+			n1++
+		case mServingBG2:
+			n2++
+		}
+		return nf, n1, n2
+	}
+	accumulate := func(dt float64) {
+		lo := math.Max(now, measStart)
+		hi := math.Min(now+dt, measEnd)
+		if hi <= lo {
+			return
+		}
+		span := hi - lo
+		nf, n1, n2 := counts()
+		fgArea += nf * span
+		bg1Area += n1 * span
+		bg2Area += n2 * span
+		switch state {
+		case mServingFG:
+			utilFG += span
+		case mServingBG1:
+			utilB1 += span
+		case mServingBG2:
+			utilB2 += span
+		case mIdleWait:
+			idleW += span
+		case mIdle:
+			emptyT += span
+		}
+	}
+	inWindow := func() bool { return now >= measStart && now < measEnd }
+	startFG := func() {
+		fgQueue--
+		state = mServingFG
+		serviceEnd = now + expo(cfg.ServiceRate)
+		idleExp = math.MaxFloat64
+	}
+	startBG := func() {
+		if bg1 > 0 {
+			bg1--
+			state = mServingBG1
+		} else {
+			bg2--
+			state = mServingBG2
+		}
+		serviceEnd = now + expo(cfg.ServiceRate)
+		idleExp = math.MaxFloat64
+	}
+	armIdleOrRest := func() {
+		serviceEnd = math.MaxFloat64
+		if bg1+bg2 > 0 {
+			state = mIdleWait
+			idleExp = now + expo(cfg.IdleRate)
+		} else {
+			state = mIdle
+			idleExp = math.MaxFloat64
+		}
+	}
+	spawnBG := func() {
+		u := rng.Float64()
+		switch {
+		case u < cfg.BG1Prob:
+			if inWindow() {
+				res.Counters.GeneratedBG1++
+			}
+			if bg1 < cfg.BG1Buffer {
+				bg1++
+			} else if inWindow() {
+				res.Counters.DroppedBG1++
+			}
+		case u < cfg.BG1Prob+cfg.BG2Prob:
+			if inWindow() {
+				res.Counters.GeneratedBG2++
+			}
+			if bg2 < cfg.BG2Buffer {
+				bg2++
+			} else if inWindow() {
+				res.Counters.DroppedBG2++
+			}
+		}
+	}
+
+	for now < measEnd {
+		next := math.Min(nextArr, math.Min(serviceEnd, idleExp))
+		accumulate(next - now)
+		now = next
+		switch {
+		case now == nextArr:
+			if inWindow() {
+				res.Counters.ArrivalsFG++
+				if state == mServingBG1 || state == mServingBG2 {
+					res.Counters.DelayedFG++
+				}
+			}
+			fgQueue++
+			if state == mIdle || state == mIdleWait {
+				startFG()
+			}
+			nextArr = now + sampler.Next()
+
+		case now == serviceEnd:
+			switch state {
+			case mServingFG:
+				if inWindow() {
+					res.Counters.CompletedFG++
+				}
+				spawnBG()
+				if fgQueue > 0 {
+					startFG()
+				} else {
+					armIdleOrRest()
+				}
+			case mServingBG1, mServingBG2:
+				if inWindow() {
+					if state == mServingBG1 {
+						res.Counters.CompletedBG1++
+					} else {
+						res.Counters.CompletedBG2++
+					}
+				}
+				if fgQueue > 0 {
+					startFG()
+				} else if bg1+bg2 > 0 && cfg.IdlePolicy == core.IdleWaitPerPeriod {
+					startBG()
+				} else {
+					armIdleOrRest()
+				}
+			default:
+				return nil, fmt.Errorf("sim: multiclass completion in state %d", state)
+			}
+
+		default:
+			if state != mIdleWait || bg1+bg2 == 0 {
+				return nil, fmt.Errorf("sim: multiclass idle expiry in state %d", state)
+			}
+			startBG()
+		}
+	}
+
+	t := cfg.MeasureTime
+	res.SimTime = t
+	res.QLenFG = fgArea / t
+	res.QLenBG1 = bg1Area / t
+	res.QLenBG2 = bg2Area / t
+	res.UtilFG = utilFG / t
+	res.UtilBG1 = utilB1 / t
+	res.UtilBG2 = utilB2 / t
+	res.ProbIdleWait = idleW / t
+	res.ProbEmpty = emptyT / t
+	res.ThroughputBG1 = float64(res.Counters.CompletedBG1) / t
+	res.ThroughputBG2 = float64(res.Counters.CompletedBG2) / t
+	res.CompBG1, res.CompBG2 = 1, 1
+	if g := res.Counters.GeneratedBG1; g > 0 {
+		res.CompBG1 = float64(g-res.Counters.DroppedBG1) / float64(g)
+	}
+	if g := res.Counters.GeneratedBG2; g > 0 {
+		res.CompBG2 = float64(g-res.Counters.DroppedBG2) / float64(g)
+	}
+	if res.Counters.ArrivalsFG > 0 {
+		res.WaitPFG = float64(res.Counters.DelayedFG) / float64(res.Counters.ArrivalsFG)
+	}
+	return &res, nil
+}

@@ -1,0 +1,431 @@
+// Package sim provides an event-driven simulator of the foreground/background
+// storage system of the paper — the same system package core solves
+// analytically, implemented independently so the two act as cross-checks.
+// The simulator additionally supports semantics the Markov chain cannot
+// express, such as deterministic idle waits.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+	"bgperf/internal/phtype"
+)
+
+// ErrConfig reports an invalid simulation configuration.
+var ErrConfig = errors.New("sim: invalid configuration")
+
+// IdleDist selects the idle-wait distribution.
+type IdleDist int
+
+const (
+	// IdleExponential draws idle waits from an exponential distribution
+	// with rate IdleRate — the paper's model and the analytic chain.
+	IdleExponential IdleDist = iota + 1
+	// IdleDeterministic uses a constant idle wait of 1/IdleRate — a policy
+	// real disk firmware often uses, outside the Markov chain's reach.
+	IdleDeterministic
+)
+
+// Config parameterizes a simulation run. The queueing semantics mirror
+// core.Config exactly (single non-preemptive server, FCFS foreground,
+// best-effort background after an idle wait, finite BG buffer with drops).
+type Config struct {
+	// Arrival is the FG arrival process.
+	Arrival *arrival.MAP
+	// ServiceRate is the exponential service rate µ for both job classes.
+	// Leave it 0 when Service is set.
+	ServiceRate float64
+	// Service optionally replaces the exponential service law with a
+	// phase-type distribution, mirroring core.Config.Service.
+	Service *phtype.Dist
+	// ServiceMAP optionally draws correlated service times from a MAP whose
+	// phase persists across jobs (frozen while not serving), mirroring
+	// core.Config.ServiceMAP. Mutually exclusive with ServiceRate/Service.
+	ServiceMAP *arrival.MAP
+	// BGProb is the probability a completing FG job generates a BG job.
+	BGProb float64
+	// BGBuffer is the BG buffer capacity X.
+	BGBuffer int
+	// IdleRate is the idle-wait rate α (mean wait 1/α). Leave it 0 when
+	// IdleWait is set.
+	IdleRate float64
+	// IdleWait optionally replaces the exponential idle wait with a
+	// phase-type distribution, mirroring core.Config.IdleWait. Incompatible
+	// with IdleDeterministic.
+	IdleWait *phtype.Dist
+	// IdlePolicy selects per-job or per-period idle-wait re-arming
+	// (zero value: per-job, matching core).
+	IdlePolicy core.IdleWaitPolicy
+	// IdleDist selects the idle-wait distribution (zero value:
+	// exponential).
+	IdleDist IdleDist
+
+	// Seed makes the run reproducible.
+	Seed int64
+	// WarmupTime is simulated time discarded before measurement.
+	WarmupTime float64
+	// MeasureTime is the simulated measurement window.
+	MeasureTime float64
+	// Batches is the number of batch-means segments for confidence
+	// intervals (default 20).
+	Batches int
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdlePolicy == 0 {
+		c.IdlePolicy = core.IdleWaitPerJob
+	}
+	if c.IdleDist == 0 {
+		c.IdleDist = IdleExponential
+	}
+	if c.Batches == 0 {
+		c.Batches = 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Arrival == nil:
+		return fmt.Errorf("%w: nil arrival process", ErrConfig)
+	case c.Service == nil && c.ServiceMAP == nil && c.ServiceRate <= 0:
+		return fmt.Errorf("%w: service rate %g must be positive", ErrConfig, c.ServiceRate)
+	case c.Service != nil && (c.ServiceRate != 0 || c.ServiceMAP != nil):
+		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+	case c.ServiceMAP != nil && c.ServiceRate != 0:
+		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+	case c.BGProb < 0 || c.BGProb > 1:
+		return fmt.Errorf("%w: BG probability %g outside [0,1]", ErrConfig, c.BGProb)
+	case c.BGBuffer < 0:
+		return fmt.Errorf("%w: negative BG buffer", ErrConfig)
+	case c.IdleWait != nil && c.IdleRate != 0:
+		return fmt.Errorf("%w: set either IdleRate or IdleWait, not both", ErrConfig)
+	case c.IdleWait != nil && c.IdleDist == IdleDeterministic:
+		return fmt.Errorf("%w: IdleWait and IdleDeterministic are incompatible", ErrConfig)
+	case c.BGBuffer > 0 && c.IdleRate <= 0 && c.IdleWait == nil:
+		return fmt.Errorf("%w: idle rate %g must be positive with a BG buffer", ErrConfig, c.IdleRate)
+	case c.MeasureTime <= 0:
+		return fmt.Errorf("%w: measurement window %g must be positive", ErrConfig, c.MeasureTime)
+	case c.WarmupTime < 0:
+		return fmt.Errorf("%w: negative warmup", ErrConfig)
+	case c.Batches < 2:
+		return fmt.Errorf("%w: need at least 2 batches", ErrConfig)
+	}
+	return nil
+}
+
+// Counters are raw event counts over the measurement window.
+type Counters struct {
+	ArrivalsFG  int64
+	CompletedFG int64
+	DelayedFG   int64 // FG arrivals that found a BG job in service
+	GeneratedBG int64
+	AdmittedBG  int64
+	DroppedBG   int64
+	CompletedBG int64
+}
+
+// Result holds the measured steady-state estimates.
+type Result struct {
+	// Metrics mirrors the analytic metric set; CompBG here is
+	// admitted/generated and WaitPFG is delayed/arrivals.
+	Metrics core.Metrics
+	// QLenFGHalf is the ±half-width of a ~95% batch-means confidence
+	// interval on Metrics.QLenFG; QLenBGHalf likewise.
+	QLenFGHalf float64
+	QLenBGHalf float64
+	// Counters are the raw counts behind the ratios.
+	Counters Counters
+	// SimTime is the measured (post-warmup) simulated time.
+	SimTime float64
+}
+
+type serverState int
+
+const (
+	stateIdle     serverState = iota // nothing in service, no timer
+	stateIdleWait                    // BG pending, idle-wait timer armed
+	stateServingFG
+	stateServingBG
+)
+
+const inf = math.MaxFloat64
+
+// Run simulates the system and returns measured metrics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var (
+		rng     = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+		sampler = arrival.NewSampler(cfg.Arrival, cfg.Seed)
+
+		now        float64
+		state      = stateIdle
+		fgQueue    int // waiting FG jobs (excluding in service)
+		bgQueue    int // waiting BG jobs (excluding in service)
+		nextArr    = sampler.Next()
+		serviceEnd = inf
+		idleExpiry = inf
+
+		measStart = cfg.WarmupTime
+		measEnd   = cfg.WarmupTime + cfg.MeasureTime
+
+		res     Result
+		fgArea  float64 // ∫ FG-in-system dt
+		bgArea  float64 // ∫ BG-in-system dt
+		utilFG  float64
+		utilBG  float64
+		idleW   float64
+		emptyT  float64
+		respSum float64
+		fgTimes []float64 // FIFO arrival stamps of FG in system
+
+		batchLen = cfg.MeasureTime / float64(cfg.Batches)
+		batchFG  = make([]float64, cfg.Batches)
+		batchBG  = make([]float64, cfg.Batches)
+	)
+
+	expo := func(rate float64) float64 {
+		return -math.Log(1-rng.Float64()) / rate
+	}
+	var svcSampler *arrival.Sampler
+	if cfg.ServiceMAP != nil {
+		svcSampler = arrival.NewSampler(cfg.ServiceMAP, cfg.Seed^0x5e41ce)
+	}
+	drawService := func() float64 {
+		switch {
+		case svcSampler != nil:
+			// The MAP phase persists across calls: correlated services,
+			// frozen while the server idles.
+			return svcSampler.Next()
+		case cfg.Service != nil:
+			return phtype.SampleOnce(cfg.Service, rng)
+		default:
+			return expo(cfg.ServiceRate)
+		}
+	}
+	idleWait := func() float64 {
+		switch {
+		case cfg.IdleWait != nil:
+			return phtype.SampleOnce(cfg.IdleWait, rng)
+		case cfg.IdleDist == IdleDeterministic:
+			return 1 / cfg.IdleRate
+		default:
+			return expo(cfg.IdleRate)
+		}
+	}
+	fgCount := func() int {
+		n := fgQueue
+		if state == stateServingFG {
+			n++
+		}
+		return n
+	}
+	bgCount := func() int {
+		n := bgQueue
+		if state == stateServingBG {
+			n++
+		}
+		return n
+	}
+	// accumulate integrates state over (now, now+dt) clipped to the
+	// measurement window, spreading queue-length area over batches.
+	accumulate := func(dt float64) {
+		lo := math.Max(now, measStart)
+		hi := math.Min(now+dt, measEnd)
+		if hi <= lo {
+			return
+		}
+		span := hi - lo
+		nf, nb := float64(fgCount()), float64(bgCount())
+		fgArea += nf * span
+		bgArea += nb * span
+		switch state {
+		case stateServingFG:
+			utilFG += span
+		case stateServingBG:
+			utilBG += span
+		case stateIdleWait:
+			idleW += span
+		case stateIdle:
+			emptyT += span
+		}
+		// Batch attribution (split across batch boundaries). Iterate batch
+		// indices rather than advancing a float time cursor: a cursor that
+		// lands exactly on a batch edge would produce zero-length segments
+		// and never progress.
+		biLo := int((lo - measStart) / batchLen)
+		if biLo < 0 {
+			biLo = 0
+		}
+		if biLo >= cfg.Batches {
+			biLo = cfg.Batches - 1
+		}
+		for bi := biLo; bi < cfg.Batches; bi++ {
+			bStart := measStart + float64(bi)*batchLen
+			if bStart >= hi {
+				break
+			}
+			segLo := math.Max(lo, bStart)
+			segHi := math.Min(hi, bStart+batchLen)
+			if bi == cfg.Batches-1 {
+				segHi = hi // absorb float round-off at the window end
+			}
+			if seg := segHi - segLo; seg > 0 {
+				batchFG[bi] += nf * seg
+				batchBG[bi] += nb * seg
+			}
+		}
+	}
+	inWindow := func() bool { return now >= measStart && now < measEnd }
+
+	startFG := func() {
+		fgQueue--
+		state = stateServingFG
+		serviceEnd = now + drawService()
+		idleExpiry = inf
+	}
+	startBG := func() {
+		bgQueue--
+		state = stateServingBG
+		serviceEnd = now + drawService()
+		idleExpiry = inf
+	}
+	armIdleOrRest := func() {
+		serviceEnd = inf
+		if bgQueue > 0 {
+			state = stateIdleWait
+			idleExpiry = now + idleWait()
+		} else {
+			state = stateIdle
+			idleExpiry = inf
+		}
+	}
+
+	for now < measEnd {
+		next := math.Min(nextArr, math.Min(serviceEnd, idleExpiry))
+		accumulate(next - now)
+		now = next
+		switch {
+		case now == nextArr:
+			// Foreground arrival.
+			if inWindow() {
+				res.Counters.ArrivalsFG++
+				if state == stateServingBG {
+					res.Counters.DelayedFG++
+				}
+			}
+			fgQueue++
+			fgTimes = append(fgTimes, now)
+			if state == stateIdle || state == stateIdleWait {
+				startFG()
+			}
+			nextArr = now + sampler.Next()
+
+		case now == serviceEnd:
+			switch state {
+			case stateServingFG:
+				if inWindow() {
+					res.Counters.CompletedFG++
+					respSum += now - fgTimes[0]
+				}
+				fgTimes = fgTimes[1:]
+				if rng.Float64() < cfg.BGProb {
+					if inWindow() {
+						res.Counters.GeneratedBG++
+					}
+					if bgQueue < cfg.BGBuffer {
+						bgQueue++
+						if inWindow() {
+							res.Counters.AdmittedBG++
+						}
+					} else if inWindow() {
+						res.Counters.DroppedBG++
+					}
+				}
+				if fgQueue > 0 {
+					startFG()
+				} else {
+					armIdleOrRest()
+				}
+			case stateServingBG:
+				if inWindow() {
+					res.Counters.CompletedBG++
+				}
+				if fgQueue > 0 {
+					startFG()
+				} else if bgQueue > 0 && cfg.IdlePolicy == core.IdleWaitPerPeriod {
+					startBG()
+				} else {
+					armIdleOrRest()
+				}
+			default:
+				return nil, fmt.Errorf("sim: service completion in state %d", state)
+			}
+
+		default: // idle-wait expiry
+			if state != stateIdleWait || bgQueue == 0 {
+				return nil, fmt.Errorf("sim: idle expiry in state %d with %d BG", state, bgQueue)
+			}
+			startBG()
+		}
+	}
+
+	t := cfg.MeasureTime
+	res.SimTime = t
+	m := &res.Metrics
+	m.QLenFG = fgArea / t
+	m.QLenBG = bgArea / t
+	m.UtilFG = utilFG / t
+	m.UtilBG = utilBG / t
+	m.ProbIdleWait = idleW / t
+	m.ProbEmpty = emptyT / t
+	m.ThroughputFG = float64(res.Counters.CompletedFG) / t
+	m.ThroughputBG = float64(res.Counters.CompletedBG) / t
+	m.GenRateBG = float64(res.Counters.GeneratedBG) / t
+	m.DropRateBG = float64(res.Counters.DroppedBG) / t
+	if res.Counters.GeneratedBG > 0 {
+		m.CompBG = float64(res.Counters.AdmittedBG) / float64(res.Counters.GeneratedBG)
+	} else {
+		m.CompBG = 1
+	}
+	if res.Counters.ArrivalsFG > 0 {
+		m.WaitPFG = float64(res.Counters.DelayedFG) / float64(res.Counters.ArrivalsFG)
+	}
+	if res.Counters.CompletedFG > 0 {
+		m.RespTimeFG = respSum / float64(res.Counters.CompletedFG)
+	}
+	if res.Counters.AdmittedBG > 0 {
+		// Little's law over the BG population: mean sojourn of admitted jobs.
+		m.RespTimeBG = bgArea / float64(res.Counters.AdmittedBG)
+	}
+
+	res.QLenFGHalf = batchHalfWidth(batchFG, batchLen)
+	res.QLenBGHalf = batchHalfWidth(batchBG, batchLen)
+	return &res, nil
+}
+
+// batchHalfWidth returns the ~95% half-width of the batch-means estimator
+// (normal critical value; adequate for ≥ 20 batches).
+func batchHalfWidth(batchAreas []float64, batchLen float64) float64 {
+	n := float64(len(batchAreas))
+	var mean float64
+	for _, a := range batchAreas {
+		mean += a / batchLen
+	}
+	mean /= n
+	var ss float64
+	for _, a := range batchAreas {
+		d := a/batchLen - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return 1.96 * sd / math.Sqrt(n)
+}

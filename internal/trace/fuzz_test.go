@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV asserts the parser never panics and that everything it
+// accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"interarrival\n1\n2.5\n",
+		"interarrival,service\n1,2\n3,4\n",
+		"interarrival\n\n1\n",
+		"interarrival,service\n1\n",
+		"bogus\n1\n",
+		"interarrival\nNaN\n",
+		"interarrival\n-3\n",
+		"interarrival\n1e308\n",
+		"",
+		"interarrival,service\n0,0\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must round-trip losslessly.
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to write: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q", err, buf.String())
+		}
+		if len(back.Interarrivals) != len(tr.Interarrivals) || len(back.Services) != len(tr.Services) {
+			t.Fatalf("round trip changed row counts: %d/%d vs %d/%d",
+				len(tr.Interarrivals), len(tr.Services), len(back.Interarrivals), len(back.Services))
+		}
+		for i := range tr.Interarrivals {
+			if tr.Interarrivals[i] != back.Interarrivals[i] {
+				t.Fatalf("row %d changed: %v vs %v", i, tr.Interarrivals[i], back.Interarrivals[i])
+			}
+		}
+		// Statistics must not panic on any accepted trace.
+		_ = tr.InterarrivalStats()
+		_ = tr.ServiceStats()
+		_ = tr.Utilization()
+		_ = tr.InterarrivalACF(5)
+	})
+}
+
+// FuzzACF asserts the sample-ACF estimator stays within [-1, 1] and never
+// panics for arbitrary inputs.
+func FuzzACF(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 0, 255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		for _, v := range ACF(xs, 4) {
+			if v < -1.0000001 || v > 1.0000001 {
+				t.Fatalf("ACF value %v outside [-1,1] for %v", v, xs)
+			}
+		}
+	})
+}

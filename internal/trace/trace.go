@@ -1,0 +1,235 @@
+// Package trace generates and characterizes synthetic I/O traces. It stands
+// in for the proprietary disk-level traces of the paper's Fig. 1 (E-mail,
+// Software Development, User Accounts servers): traces are sampled from the
+// fitted MMPPs, and the same descriptors the paper tabulates — mean and CV of
+// inter-arrival and service times, utilization, and the sample
+// autocorrelation function — are estimated from the samples.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"bgperf/internal/arrival"
+)
+
+// ErrFormat reports malformed trace data on read.
+var ErrFormat = errors.New("trace: malformed trace data")
+
+// Trace holds a sequence of request inter-arrival times and, optionally,
+// per-request service times. Units follow the generating process (the
+// workload catalog uses milliseconds).
+type Trace struct {
+	// Interarrivals are the gaps between consecutive request arrivals.
+	Interarrivals []float64
+	// Services are per-request service times; empty when not recorded.
+	Services []float64
+}
+
+// Generate samples n inter-arrival times from the MAP, starting from the
+// time-stationary phase, using the deterministic seed.
+func Generate(m *arrival.MAP, n int, seed int64) *Trace {
+	s := arrival.NewSampler(m, seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return &Trace{Interarrivals: out}
+}
+
+// GenerateWithService additionally draws exponential service times with the
+// given rate, mirroring the paper's service model.
+func GenerateWithService(m *arrival.MAP, n int, seed int64, serviceRate float64) *Trace {
+	t := Generate(m, n, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x7ace))
+	t.Services = make([]float64, n)
+	for i := range t.Services {
+		t.Services[i] = -math.Log(1-rng.Float64()) / serviceRate
+	}
+	return t
+}
+
+// Stats summarizes a sample: count, mean, coefficient of variation, and its
+// square.
+type Stats struct {
+	Count int
+	Mean  float64
+	CV    float64
+	SCV   float64
+}
+
+func describe(xs []float64) Stats {
+	n := len(xs)
+	if n == 0 {
+		return Stats{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	st := Stats{Count: n, Mean: mean}
+	if n < 2 || mean == 0 {
+		return st
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	variance := ss / float64(n-1)
+	st.SCV = variance / (mean * mean)
+	st.CV = math.Sqrt(st.SCV)
+	return st
+}
+
+// InterarrivalStats returns descriptors of the inter-arrival sample.
+func (t *Trace) InterarrivalStats() Stats { return describe(t.Interarrivals) }
+
+// ServiceStats returns descriptors of the service-time sample.
+func (t *Trace) ServiceStats() Stats { return describe(t.Services) }
+
+// Utilization estimates the offered load: mean service time over mean
+// inter-arrival time. It returns 0 when either sample is missing.
+func (t *Trace) Utilization() float64 {
+	ia := t.InterarrivalStats()
+	sv := t.ServiceStats()
+	if ia.Mean == 0 || sv.Count == 0 {
+		return 0
+	}
+	return sv.Mean / ia.Mean
+}
+
+// ACF estimates the sample autocorrelation function of xs for lags
+// 1..maxLag (the paper's dependence metric, Sec. 3.1).
+func ACF(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag < 1 || n < 2 {
+		return nil
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var variance float64
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	out := make([]float64, maxLag)
+	if variance == 0 {
+		return out
+	}
+	for k := 1; k <= maxLag; k++ {
+		if k >= n {
+			break
+		}
+		var acc float64
+		for i := 0; i+k < n; i++ {
+			acc += (xs[i] - mean) * (xs[i+k] - mean)
+		}
+		out[k-1] = acc / float64(n) / variance
+	}
+	return out
+}
+
+// InterarrivalACF estimates the sample ACF of the inter-arrival times.
+func (t *Trace) InterarrivalACF(maxLag int) []float64 {
+	return ACF(t.Interarrivals, maxLag)
+}
+
+// WriteCSV writes the trace as CSV with a header. Columns are
+// interarrival[,service] depending on whether services are recorded.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	withService := len(t.Services) > 0
+	if withService && len(t.Services) != len(t.Interarrivals) {
+		return fmt.Errorf("%w: %d services for %d arrivals", ErrFormat, len(t.Services), len(t.Interarrivals))
+	}
+	header := "interarrival"
+	if withService {
+		header += ",service"
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	for i, ia := range t.Interarrivals {
+		if _, err := bw.WriteString(strconv.FormatFloat(ia, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if withService {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(t.Services[i], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	withService := false
+	switch {
+	case len(header) == 1 && header[0] == "interarrival":
+	case len(header) == 2 && header[0] == "interarrival" && header[1] == "service":
+		withService = true
+	default:
+		return nil, fmt.Errorf("%w: unexpected header %q", ErrFormat, sc.Text())
+	}
+	t := &Trace{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		want := 1
+		if withService {
+			want = 2
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("%w: line %d has %d fields, want %d", ErrFormat, line, len(fields), want)
+		}
+		ia, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || ia < 0 || math.IsNaN(ia) || math.IsInf(ia, 0) {
+			return nil, fmt.Errorf("%w: line %d: bad interarrival %q", ErrFormat, line, fields[0])
+		}
+		t.Interarrivals = append(t.Interarrivals, ia)
+		if withService {
+			sv, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || sv < 0 || math.IsNaN(sv) || math.IsInf(sv, 0) {
+				return nil, fmt.Errorf("%w: line %d: bad service %q", ErrFormat, line, fields[1])
+			}
+			t.Services = append(t.Services, sv)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

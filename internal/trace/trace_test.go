@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bgperf/internal/arrival"
+)
+
+func TestGenerateMatchesProcess(t *testing.T) {
+	m, err := arrival.MMPP2(0.02, 0.05, 1.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Generate(m, 300000, 42)
+	st := tr.InterarrivalStats()
+	if rel := math.Abs(st.Mean-m.MeanInterarrival()) / m.MeanInterarrival(); rel > 0.05 {
+		t.Errorf("mean = %v, analytic %v", st.Mean, m.MeanInterarrival())
+	}
+	if rel := math.Abs(st.SCV-m.SCV()) / m.SCV(); rel > 0.1 {
+		t.Errorf("scv = %v, analytic %v", st.SCV, m.SCV())
+	}
+	acf := tr.InterarrivalACF(5)
+	for k, got := range acf {
+		if want := m.ACF(k + 1); math.Abs(got-want) > 0.03 {
+			t.Errorf("ACF(%d) = %v, analytic %v", k+1, got, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m, _ := arrival.Poisson(1)
+	a := Generate(m, 100, 7)
+	b := Generate(m, 100, 7)
+	for i := range a.Interarrivals {
+		if a.Interarrivals[i] != b.Interarrivals[i] {
+			t.Fatal("same seed gave different traces")
+		}
+	}
+}
+
+func TestGenerateWithService(t *testing.T) {
+	m, _ := arrival.Poisson(1.0 / 75)
+	tr := GenerateWithService(m, 200000, 3, 1.0/6)
+	sv := tr.ServiceStats()
+	if math.Abs(sv.Mean-6) > 0.1 {
+		t.Errorf("service mean = %v, want 6", sv.Mean)
+	}
+	if math.Abs(sv.CV-1) > 0.05 {
+		t.Errorf("service CV = %v, want 1 (exponential)", sv.CV)
+	}
+	if util := tr.Utilization(); math.Abs(util-0.08) > 0.01 {
+		t.Errorf("utilization = %v, want 0.08", util)
+	}
+}
+
+func TestPoissonTraceUncorrelated(t *testing.T) {
+	m, _ := arrival.Poisson(2)
+	tr := Generate(m, 200000, 5)
+	for k, v := range tr.InterarrivalACF(5) {
+		if math.Abs(v) > 0.02 {
+			t.Errorf("Poisson sample ACF(%d) = %v, want ~0", k+1, v)
+		}
+	}
+}
+
+func TestStatsEdgeCases(t *testing.T) {
+	var empty Trace
+	if st := empty.InterarrivalStats(); st.Count != 0 || st.Mean != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if empty.Utilization() != 0 {
+		t.Error("utilization of empty trace must be 0")
+	}
+	one := Trace{Interarrivals: []float64{5}}
+	st := one.InterarrivalStats()
+	if st.Mean != 5 || st.CV != 0 {
+		t.Errorf("single-sample stats = %+v", st)
+	}
+}
+
+func TestACFEdgeCases(t *testing.T) {
+	if ACF(nil, 5) != nil {
+		t.Error("ACF of empty series should be nil")
+	}
+	if ACF([]float64{1, 2, 3}, 0) != nil {
+		t.Error("ACF with maxLag 0 should be nil")
+	}
+	constant := ACF([]float64{2, 2, 2, 2}, 2)
+	for _, v := range constant {
+		if v != 0 {
+			t.Errorf("constant series ACF = %v, want 0", v)
+		}
+	}
+	// Alternating series has strongly negative lag-1 correlation.
+	alt := ACF([]float64{1, -1, 1, -1, 1, -1, 1, -1}, 1)
+	if alt[0] > -0.5 {
+		t.Errorf("alternating ACF(1) = %v, want strongly negative", alt[0])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m, _ := arrival.Poisson(1)
+	tr := GenerateWithService(m, 500, 9, 0.5)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Interarrivals) != 500 || len(back.Services) != 500 {
+		t.Fatalf("round trip lost rows: %d/%d", len(back.Interarrivals), len(back.Services))
+	}
+	for i := range tr.Interarrivals {
+		if tr.Interarrivals[i] != back.Interarrivals[i] || tr.Services[i] != back.Services[i] {
+			t.Fatalf("row %d changed in round trip", i)
+		}
+	}
+}
+
+func TestCSVRoundTripNoService(t *testing.T) {
+	tr := &Trace{Interarrivals: []float64{1, 2.5, 3}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Services) != 0 || len(back.Interarrivals) != 3 {
+		t.Fatalf("unexpected round trip: %+v", back)
+	}
+}
+
+func TestWriteCSVMismatched(t *testing.T) {
+	tr := &Trace{Interarrivals: []float64{1, 2}, Services: []float64{1}}
+	if err := tr.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched services accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "foo,bar\n1,2\n"},
+		{"wrong fields", "interarrival\n1,2\n"},
+		{"bad number", "interarrival\nxyz\n"},
+		{"negative", "interarrival\n-1\n"},
+		{"bad service", "interarrival,service\n1,NaNish\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("interarrival\n1\n\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Interarrivals) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tr.Interarrivals))
+	}
+}
+
+func TestQuickSampleACFBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := arrival.MMPP2(0.1, 0.2, 1, 0.2)
+		if err != nil {
+			return false
+		}
+		tr := Generate(m, 2000, seed)
+		for _, v := range tr.InterarrivalACF(20) {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

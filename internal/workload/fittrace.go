@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/trace"
+)
+
+// ErrFitTrace reports a trace whose sample statistics cannot parameterize an
+// MMPP(2).
+var ErrFitTrace = errors.New("workload: trace not fittable by an MMPP(2)")
+
+// FromTrace fits a 2-state MMPP to a measured (or synthetic) trace — the
+// paper's Sec. 3.1 workflow: match the sample mean and CV of the
+// inter-arrival times and the shape of the sample ACF. The decay of the ACF
+// is estimated by a log-linear regression over the lags that rise above the
+// sampling noise floor; the lag-1 ACF is left to be implied by the MMPP(2)
+// feasibility manifold (see arrival.FitSpec).
+//
+// Traces need enough samples for the estimates to stabilize — as a rule of
+// thumb, tens of phase cycles of the underlying process.
+func FromTrace(tr *trace.Trace) (*arrival.MAP, error) {
+	st := tr.InterarrivalStats()
+	if st.Count < 1000 {
+		return nil, fmt.Errorf("%w: only %d samples", ErrFitTrace, st.Count)
+	}
+	if st.Mean <= 0 {
+		return nil, fmt.Errorf("%w: nonpositive mean inter-arrival time", ErrFitTrace)
+	}
+	if st.SCV <= 1 {
+		// At or below Poisson variability there is no burstiness to model.
+		return nil, fmt.Errorf("%w: sample SCV %.3g (needs > 1; use a Poisson or Erlang model instead)", ErrFitTrace, st.SCV)
+	}
+	const maxLag = 200
+	acf := tr.InterarrivalACF(maxLag)
+	decay, err := EstimateACFDecay(acf)
+	if err != nil {
+		return nil, err
+	}
+	return arrival.FitMMPP2(arrival.FitSpec{
+		Rate:  1 / st.Mean,
+		SCV:   st.SCV,
+		Decay: decay,
+	})
+}
+
+// EstimateACFDecay fits a geometric decay factor γ to a sample ACF series
+// (acf[k] ≈ c·γ^k) by least-squares regression of log acf against the lag,
+// using the prefix of lags that stay above a noise floor. It returns
+// ErrFitTrace when the series shows no usable positive correlation.
+func EstimateACFDecay(acf []float64) (float64, error) {
+	const floor = 0.01
+	// Use the longest prefix above the noise floor; a geometric fit only
+	// makes sense on contiguously positive values.
+	n := 0
+	for _, v := range acf {
+		if v < floor {
+			break
+		}
+		n++
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("%w: sample ACF below noise floor from lag 1", ErrFitTrace)
+	}
+	// Least squares on (k, log acf_k), k = 0-based lag index.
+	var sx, sy, sxx, sxy float64
+	for k := 0; k < n; k++ {
+		x := float64(k)
+		y := math.Log(acf[k])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("%w: degenerate ACF regression", ErrFitTrace)
+	}
+	slope := (float64(n)*sxy - sx*sy) / den
+	gamma := math.Exp(slope)
+	if gamma >= 1 {
+		// A flat sample ACF over a short window still means strong
+		// persistence; cap just below one so the fit remains feasible.
+		gamma = 1 - 1e-4
+	}
+	if gamma <= 0 {
+		return 0, fmt.Errorf("%w: estimated decay %g", ErrFitTrace, gamma)
+	}
+	return gamma, nil
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/trace"
+)
+
+func TestFromTraceRoundTrip(t *testing.T) {
+	// Generate a long trace from a known fast-mixing MMPP and recover a
+	// model with matching descriptors.
+	ref, err := arrival.MMPP2(0.002, 0.004, 1.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(ref, 500000, 11)
+	fit, err := FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fit.Rate()-ref.Rate()) / ref.Rate(); rel > 0.05 {
+		t.Errorf("rate %v vs %v (rel %v)", fit.Rate(), ref.Rate(), rel)
+	}
+	if rel := math.Abs(fit.SCV()-ref.SCV()) / ref.SCV(); rel > 0.15 {
+		t.Errorf("scv %v vs %v (rel %v)", fit.SCV(), ref.SCV(), rel)
+	}
+	if math.Abs(fit.ACFDecay()-ref.ACFDecay()) > 0.05 {
+		t.Errorf("decay %v vs %v", fit.ACFDecay(), ref.ACFDecay())
+	}
+	// The model-level ACF must track the sample over moderate lags.
+	sample := tr.InterarrivalACF(20)
+	model := fit.ACFSeries(20)
+	for k := 0; k < 20; k += 5 {
+		if math.Abs(sample[k]-model[k]) > 0.08 {
+			t.Errorf("ACF(%d): sample %v vs fitted model %v", k+1, sample[k], model[k])
+		}
+	}
+}
+
+func TestFromTraceErrors(t *testing.T) {
+	short := &trace.Trace{Interarrivals: []float64{1, 2, 3}}
+	if _, err := FromTrace(short); err == nil {
+		t.Error("short trace accepted")
+	}
+	// A Poisson trace has SCV ≈ 1: no MMPP burstiness to fit.
+	p, _ := arrival.Poisson(1)
+	if _, err := FromTrace(trace.Generate(p, 50000, 3)); err == nil {
+		t.Error("Poisson trace accepted for MMPP fitting")
+	}
+}
+
+func TestEstimateACFDecay(t *testing.T) {
+	// Clean geometric series recovers γ.
+	series := make([]float64, 60)
+	for k := range series {
+		series[k] = 0.4 * math.Pow(0.93, float64(k))
+	}
+	gamma, err := EstimateACFDecay(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gamma-0.93) > 1e-9 {
+		t.Errorf("gamma = %v, want 0.93", gamma)
+	}
+	// Pure noise below the floor must be rejected.
+	if _, err := EstimateACFDecay([]float64{0.004, -0.002, 0.003}); err == nil {
+		t.Error("noise series accepted")
+	}
+	// A flat high series caps just below one.
+	flat := []float64{0.3, 0.3, 0.3, 0.3}
+	gamma, err = EstimateACFDecay(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma >= 1 || gamma < 0.99 {
+		t.Errorf("flat series gamma = %v, want just below 1", gamma)
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmailShape(t *testing.T) {
+	m, err := Email()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util := m.Rate() * MeanServiceTimeMs; math.Abs(util-0.08) > 0.005 {
+		t.Errorf("E-mail utilization = %v, paper reports 8%%", util)
+	}
+	if m.SCV() < 50 {
+		t.Errorf("E-mail scv = %v, want high variability", m.SCV())
+	}
+	if m.ACFDecay() < 0.999 {
+		t.Errorf("E-mail decay = %v, want LRD-like (>= 0.999)", m.ACFDecay())
+	}
+	if m.ACF(100) < 0.3 {
+		t.Errorf("E-mail ACF(100) = %v, want persistently high", m.ACF(100))
+	}
+}
+
+func TestSoftwareDevelopmentShape(t *testing.T) {
+	m, err := SoftwareDevelopment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util := m.Rate() * MeanServiceTimeMs; math.Abs(util-0.068) > 0.005 {
+		t.Errorf("Soft.Dev utilization = %v, paper reports ~6%%", util)
+	}
+	email, _ := Email()
+	if m.ACFDecay() >= email.ACFDecay() {
+		t.Errorf("Soft.Dev decay %v must be faster (smaller) than E-mail %v", m.ACFDecay(), email.ACFDecay())
+	}
+}
+
+func TestUserAccountsShape(t *testing.T) {
+	m, err := UserAccounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util := m.Rate() * MeanServiceTimeMs; util > 0.03 {
+		t.Errorf("User Accounts utilization = %v, paper reports a lightly loaded system", util)
+	}
+	if m.ACF(1) <= 0 {
+		t.Errorf("User Accounts ACF(1) = %v, want positive", m.ACF(1))
+	}
+}
+
+func TestEmailLowACF(t *testing.T) {
+	high, err := Email()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := EmailLowACF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(low.Rate()-high.Rate()) > 1e-9*high.Rate() {
+		t.Errorf("rates differ: %v vs %v", low.Rate(), high.Rate())
+	}
+	if rel := math.Abs(low.SCV()-high.SCV()) / high.SCV(); rel > 0.01 {
+		t.Errorf("SCV differs by %v", rel)
+	}
+	if low.ACF(50) >= high.ACF(50) {
+		t.Errorf("low-ACF ACF(50) = %v not below high-ACF %v", low.ACF(50), high.ACF(50))
+	}
+}
+
+func TestEmailIPP(t *testing.T) {
+	high, err := Email()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipp, err := EmailIPP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ipp.Rate()-high.Rate()) > 1e-9*high.Rate() {
+		t.Errorf("rates differ: %v vs %v", ipp.Rate(), high.Rate())
+	}
+	if rel := math.Abs(ipp.SCV()-high.SCV()) / high.SCV(); rel > 0.01 {
+		t.Errorf("SCV differs by %v", rel)
+	}
+	if acf := ipp.ACF(1); math.Abs(acf) > 1e-9 {
+		t.Errorf("IPP ACF(1) = %v, want 0", acf)
+	}
+}
+
+func TestEmailPoisson(t *testing.T) {
+	p, err := EmailPoisson()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.SCV()-1) > 1e-9 {
+		t.Errorf("Poisson scv = %v", p.SCV())
+	}
+}
+
+func TestAtUtilization(t *testing.T) {
+	m, err := Email()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, util := range []float64{0.05, 0.3, 0.8} {
+		scaled, err := AtUtilization(m, util)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := scaled.Rate() * MeanServiceTimeMs; math.Abs(got-util) > 1e-9 {
+			t.Errorf("scaled utilization = %v, want %v", got, util)
+		}
+		if math.Abs(scaled.SCV()-m.SCV()) > 1e-6*m.SCV() {
+			t.Error("scaling changed the SCV")
+		}
+	}
+	if _, err := AtUtilization(m, 0); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := AtUtilization(m, 1.2); err == nil {
+		t.Error("supercritical utilization accepted")
+	}
+}
+
+func TestTraces(t *testing.T) {
+	traces, err := Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Name == "" || tr.MAP == nil {
+			t.Errorf("incomplete trace entry %+v", tr)
+		}
+	}
+}
+
+func TestDependenceComparison(t *testing.T) {
+	procs, err := DependenceComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 4 {
+		t.Fatalf("got %d processes, want 4", len(procs))
+	}
+	rate := procs[0].MAP.Rate()
+	for _, p := range procs {
+		if math.Abs(p.MAP.Rate()-rate) > 1e-9*rate {
+			t.Errorf("%s rate %v differs from E-mail %v", p.Name, p.MAP.Rate(), rate)
+		}
+	}
+	// Dependence ordering at lag 10: High > Low > IPP ≈ Expo ≈ 0.
+	a := func(i int) float64 { return procs[i].MAP.ACF(10) }
+	if !(a(0) > a(1) && a(1) > a(2)+1e-9) {
+		t.Errorf("ACF(10) ordering violated: %v %v %v", a(0), a(1), a(2))
+	}
+	if math.Abs(a(2)) > 1e-9 || math.Abs(a(3)) > 1e-9 {
+		t.Errorf("renewal processes must have zero ACF: %v %v", a(2), a(3))
+	}
+}

@@ -68,3 +68,32 @@ func BenchmarkBaseline(b *testing.B) { benchFigure(b, "baseline") }
 // BenchmarkScalability exercises the solver-scaling table (S-1); each
 // iteration runs the full buffer/order sweep including X = 50.
 func BenchmarkScalability(b *testing.B) { benchFigure(b, "scalability") }
+
+// benchSuiteWorkers regenerates Figures 5–8 from a fresh Suite per iteration
+// with the given worker-pool width, measuring the whole utilization ×
+// BG-probability sweep (the Suite's cached computation) plus rendering prep.
+func benchSuiteWorkers(b *testing.B, workers int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuiteWorkers(workers)
+		for _, run := range []func() (experiments.Result, error){
+			s.Figure5, s.Figure6, s.Figure7, s.Figure8,
+		} {
+			res, err := run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Figures) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSerial and BenchmarkSuiteParallel compare the sweep engine
+// with a single worker against the full worker pool (one goroutine per
+// core). Their outputs are bit-identical; only wall-clock differs, by about
+// the core count on sufficiently parallel hardware.
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuiteWorkers(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuiteWorkers(b, 0) }

@@ -91,6 +91,8 @@ type (
 	SimConfig = sim.Config
 	// SimResult holds simulated estimates with confidence intervals.
 	SimResult = sim.Result
+	// SimReplications aggregates independent simulation replications.
+	SimReplications = sim.ReplicationResult
 	// IdleDist selects the simulator's idle-wait distribution.
 	IdleDist = sim.IdleDist
 )
@@ -140,6 +142,14 @@ func Solve(cfg Config) (*Solution, error) {
 
 // Simulate runs the independent event simulator.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateReplications runs reps independent replications of cfg (seeds
+// cfg.Seed .. cfg.Seed+reps-1) on at most workers goroutines (0: all cores)
+// and aggregates mean metrics with 95% confidence half-widths. The result is
+// identical for every worker count.
+func SimulateReplications(cfg SimConfig, reps, workers int) (*SimReplications, error) {
+	return sim.RunReplications(cfg, reps, workers)
+}
 
 // SolveMulti builds and solves the two-priority background model.
 func SolveMulti(cfg MultiConfig) (*MultiSolution, error) {

@@ -5,6 +5,7 @@
 //
 //	bgperf solve -workload email -util 0.3 -p 0.3            # analytic metrics
 //	bgperf sim   -workload softdev -util 0.5 -p 0.6 -time 2e8
+//	bgperf sim   -workload email -util 0.2 -p 0.9 -reps 8 -workers 0  # parallel replications
 //	bgperf trace -workload email -n 100000 -out trace.csv    # synthetic trace
 //	bgperf fit   -rate 0.0133 -scv 100 -decay 0.999          # MMPP2 moment fit
 //	bgperf acf   -workload useraccounts -lags 50             # analytic ACF
@@ -228,11 +229,19 @@ func cmdSim(args []string, out io.Writer) error {
 	var (
 		simTime = fs.Float64("time", 1e8, "measured simulation time in ms")
 		seed    = fs.Int64("seed", 1, "random seed")
+		reps    = fs.Int("reps", 1, "independent replications (seeds seed..seed+reps-1), aggregated as mean ± 95% CI")
+		workers = fs.Int("workers", 0, "max goroutines for replications (0 = all cores, 1 = serial); results are identical for every setting")
 		detIdle = fs.Bool("detidle", false, "use a deterministic idle wait instead of exponential")
 		asJSON  = fs.Bool("json", false, "emit the metrics as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("reps must be >= 1")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0")
 	}
 	cfg, err := mf.build()
 	if err != nil {
@@ -253,6 +262,25 @@ func cmdSim(args []string, out io.Writer) error {
 	}
 	if *detIdle {
 		simCfg.IdleDist = sim.IdleDeterministic
+	}
+	if *reps > 1 {
+		agg, err := sim.RunReplications(simCfg, *reps, *workers)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(agg)
+		}
+		// The worker count is deliberately not echoed: output must be
+		// byte-identical for every -workers setting.
+		fmt.Fprintf(out, "simulated %d replications × %.4g ms (seeds %d..%d)\n",
+			*reps, simCfg.MeasureTime, *seed, *seed+int64(*reps)-1)
+		printMetrics(out, agg.Mean)
+		fmt.Fprintf(out, "qlen 95%% half-width  %12.6g (fg) %.6g (bg)\n", agg.QLenFGHalf, agg.QLenBGHalf)
+		fmt.Fprintf(out, "resp 95%% half-width  %12.6g ms (fg)\n", agg.RespTimeFGHalf)
+		return nil
 	}
 	res, err := sim.Run(simCfg)
 	if err != nil {

@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 		outdir  = fs.String("outdir", "", "write one file per artifact into this directory instead of stdout")
 		seed    = fs.Int64("seed", 1, "seed for stochastic experiments")
 		simTime = fs.Float64("simtime", 2e8, "validation simulation window (ms)")
+		workers = fs.Int("workers", 0, "max goroutines for the sweep engine (0 = all cores, 1 = serial); output is identical for every setting")
 		list    = fs.Bool("list", false, "list available artifacts and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -45,8 +46,12 @@ func run(args []string, out io.Writer) error {
 	if *format != "text" && *format != "csv" && *format != "gnuplot" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0")
+	}
 	opts := experiments.Options{
 		Seed:       *seed,
+		Workers:    *workers,
 		Validation: experiments.ValidationOptions{MeasureTime: *simTime},
 	}
 	gens := experiments.All(opts)

@@ -31,7 +31,7 @@ var ErrInvalidMAP = errors.New("arrival: invalid MAP")
 // construct with New or one of the named constructors.
 //
 // A MAP is immutable after construction: all transforming methods return new
-// processes.
+// processes, so a MAP may be shared freely across goroutines.
 type MAP struct {
 	d0, d1 *mat.Matrix
 

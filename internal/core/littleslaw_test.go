@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/phtype"
+)
+
+// TestLittlesLawRespTimeFG is the regression test for RespTimeFG being
+// derived from the nominal arrival rate instead of the solved effective
+// throughput: the two agree only up to solver round-off, so Little's law
+// must hold exactly against the computed ThroughputFG and QLenFG.
+func TestLittlesLawRespTimeFG(t *testing.T) {
+	mmpp, err := arrival.MMPP2(0.9e-6, 1.9e-6, 1.0e-4, 3.5e-2) // paper's Soft.Dev.
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := arrival.Poisson(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erlang, err := phtype.FitTwoMoment(6, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mmpp-expo", Config{Arrival: mmpp, ServiceRate: 1.0 / 6, BGProb: 0.6, BGBuffer: 5, IdleRate: 1.0 / 6}},
+		{"poisson-expo", Config{Arrival: poisson, ServiceRate: 1.0 / 6, BGProb: 0.3, BGBuffer: 3, IdleRate: 1.0 / 6}},
+		{"mmpp-erlang", Config{Arrival: mmpp, Service: erlang, BGProb: 0.9, BGBuffer: 5, IdleRate: 1.0 / 12}},
+		{"per-period", Config{Arrival: poisson, ServiceRate: 1.0 / 6, BGProb: 0.6, BGBuffer: 5,
+			IdleRate: 1.0 / 6, IdlePolicy: IdleWaitPerPeriod}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			model, err := NewModel(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := model.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.ThroughputFG <= 0 || sol.QLenFG <= 0 {
+				t.Fatalf("degenerate solution: throughput %g, qlen %g", sol.ThroughputFG, sol.QLenFG)
+			}
+			want := sol.QLenFG / sol.ThroughputFG
+			if rel := math.Abs(sol.RespTimeFG-want) / want; rel > 1e-12 {
+				t.Fatalf("RespTimeFG = %.17g, want QLenFG/ThroughputFG = %.17g (rel err %g > 1e-12)",
+					sol.RespTimeFG, want, rel)
+			}
+		})
+	}
+}

@@ -200,8 +200,11 @@ func (s *Solution) computeMetrics() {
 	if cfg.BGProb > 0 {
 		s.DropRateBG = cfg.BGProb * complFGFull
 	}
-	if lambda := cfg.Arrival.Rate(); lambda > 0 {
-		s.RespTimeFG = s.QLenFG / lambda
+	// Little's law against the solved effective throughput, not the nominal
+	// arrival rate: the two agree only up to solver round-off, and using the
+	// nominal rate leaves RespTimeFG·ThroughputFG ≠ QLenFG by that error.
+	if complFG > 0 {
+		s.RespTimeFG = s.QLenFG / complFG
 	}
 	if admitted := s.GenRateBG - s.DropRateBG; admitted > 0 {
 		s.RespTimeBG = s.QLenBG / admitted

@@ -6,6 +6,13 @@
 // Each generator returns plain data (Figure / Table values); rendering to
 // aligned text or CSV is separate so the cmd tools, benchmarks, and tests
 // share one code path.
+//
+// Generators whose grids are embarrassingly parallel (the load sweeps behind
+// Fig. 5–13 and the baseline/extension/validation tables) fan their
+// independent solves out over a bounded worker pool (Options.Workers;
+// 0 = all cores). Results are always collected index-addressed, so every
+// artifact is bit-identical across worker counts, and a Suite may be shared
+// between goroutines.
 package experiments
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bgperf/internal/multiclass"
+	"bgperf/internal/par"
 	"bgperf/internal/workload"
 )
 
@@ -12,7 +13,11 @@ import (
 // bulk scrubbing as class 2). It splits a fixed total background probability
 // across the classes and reports per-class completion under rising
 // foreground load, showing what strict priority buys the urgent class.
-func Extension() (Result, error) {
+//
+// The (util, split) grid points are independent solves and fan out over at
+// most workers goroutines (0: all cores); rows are collected index-addressed
+// so the table matches a serial run exactly.
+func Extension(workers int) (Result, error) {
 	soft, err := workload.SoftwareDevelopment()
 	if err != nil {
 		return Result{}, err
@@ -35,35 +40,40 @@ func Extension() (Result, error) {
 		},
 		Notes: "class 1 (e.g. WRITE verification) is picked before class 2 (e.g. scrubbing) at every idle-wait expiry",
 	}
-	for _, util := range []float64{0.10, 0.20, 0.30} {
+	utilGrid := []float64{0.10, 0.20, 0.30}
+	tbl.Rows = make([][]string, len(utilGrid)*len(splits))
+	err = par.For(workers, len(tbl.Rows), func(i int) error {
+		util, sp := utilGrid[i/len(splits)], splits[i%len(splits)]
 		scaled, err := workload.AtUtilization(soft, util)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		for _, sp := range splits {
-			model, err := multiclass.NewModel(multiclass.Config{
-				Arrival:     scaled,
-				ServiceRate: workload.ServiceRatePerMs,
-				BG1Prob:     sp.p1,
-				BG2Prob:     sp.p2,
-				BG1Buffer:   5,
-				BG2Buffer:   5,
-				IdleRate:    workload.ServiceRatePerMs,
-			})
-			if err != nil {
-				return Result{}, err
-			}
-			sol, err := model.Solve()
-			if err != nil {
-				return Result{}, fmt.Errorf("experiments: extension util %g split %s: %w", util, sp.name, err)
-			}
-			tbl.Rows = append(tbl.Rows, []string{
-				fmt.Sprintf("%.2f", util), sp.name,
-				fmtG(sol.CompBG1), fmtG(sol.CompBG2),
-				fmtG(sol.QLenBG1), fmtG(sol.QLenBG2),
-				fmtG(sol.QLenFG), fmtG(sol.WaitPFG),
-			})
+		model, err := multiclass.NewModel(multiclass.Config{
+			Arrival:     scaled,
+			ServiceRate: workload.ServiceRatePerMs,
+			BG1Prob:     sp.p1,
+			BG2Prob:     sp.p2,
+			BG1Buffer:   5,
+			BG2Buffer:   5,
+			IdleRate:    workload.ServiceRatePerMs,
+		})
+		if err != nil {
+			return err
 		}
+		sol, err := model.Solve()
+		if err != nil {
+			return fmt.Errorf("experiments: extension util %g split %s: %w", util, sp.name, err)
+		}
+		tbl.Rows[i] = []string{
+			fmt.Sprintf("%.2f", util), sp.name,
+			fmtG(sol.CompBG1), fmtG(sol.CompBG2),
+			fmtG(sol.QLenBG1), fmtG(sol.QLenBG2),
+			fmtG(sol.QLenFG), fmtG(sol.WaitPFG),
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{Tables: []Table{tbl}}, nil
 }

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
+	"bgperf/internal/par"
 	"bgperf/internal/trace"
 	"bgperf/internal/workload"
 )
@@ -27,14 +29,30 @@ var (
 )
 
 // Suite generates the paper's artifacts, caching the expensive load sweeps
-// shared between figures. A Suite is not safe for concurrent use.
+// shared between figures.
+//
+// A Suite is safe for concurrent use: the cached sweeps are computed at most
+// once (sync.Once-guarded, even under concurrent first use) and are
+// read-only afterwards, so any number of goroutines may generate figures
+// from one shared Suite. Grid points of a sweep are themselves fanned out
+// over a bounded worker pool; results are collected index-addressed, so the
+// output is bit-identical to a serial run regardless of worker count.
 type Suite struct {
+	workers int
+
+	once  sync.Once
+	err   error
 	email *sweep
 	soft  *sweep
 }
 
-// NewSuite returns an empty suite; sweeps are computed on first use.
-func NewSuite() *Suite { return &Suite{} }
+// NewSuite returns an empty suite; sweeps are computed on first use, fanned
+// out over all cores.
+func NewSuite() *Suite { return NewSuiteWorkers(0) }
+
+// NewSuiteWorkers returns an empty suite whose sweeps fan grid points out
+// over at most workers goroutines (workers <= 0: all cores; 1: serial).
+func NewSuiteWorkers(workers int) *Suite { return &Suite{workers: workers} }
 
 // sweep holds solved metrics over a utilization × p grid for one workload.
 type sweep struct {
@@ -45,23 +63,31 @@ type sweep struct {
 }
 
 // runSweep solves the model across the grid with idle wait equal to the mean
-// service time (the paper's default).
-func runSweep(name string, m *arrival.MAP, utils, ps []float64) (*sweep, error) {
+// service time (the paper's default). Grid points are independent QBD solves,
+// so they fan out over the worker pool; each writes only its own
+// pre-allocated metrics cell, keeping the result identical to a serial run.
+func runSweep(name string, m *arrival.MAP, utils, ps []float64, workers int) (*sweep, error) {
 	s := &sweep{name: name, utils: utils, ps: ps}
 	s.metrics = make([][]core.Metrics, len(ps))
-	for pi, p := range ps {
+	for pi := range ps {
 		s.metrics[pi] = make([]core.Metrics, len(utils))
-		for ui, util := range utils {
-			scaled, err := workload.AtUtilization(m, util)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s sweep: %w", name, err)
-			}
-			met, err := solveMetrics(scaled, p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s util %g p %g: %w", name, util, p, err)
-			}
-			s.metrics[pi][ui] = met
+	}
+	err := par.For(workers, len(ps)*len(utils), func(i int) error {
+		pi, ui := i/len(utils), i%len(utils)
+		p, util := ps[pi], utils[ui]
+		scaled, err := workload.AtUtilization(m, util)
+		if err != nil {
+			return fmt.Errorf("experiments: %s sweep: %w", name, err)
 		}
+		met, err := solveMetrics(scaled, p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
+		if err != nil {
+			return fmt.Errorf("experiments: %s util %g p %g: %w", name, util, p, err)
+		}
+		s.metrics[pi][ui] = met
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -97,24 +123,24 @@ func (s *sweep) series(pIdx int, label string, metric func(core.Metrics) float64
 }
 
 func (s *Suite) loadSweeps() error {
-	if s.email != nil && s.soft != nil {
-		return nil
-	}
-	email, err := workload.Email()
-	if err != nil {
-		return err
-	}
-	soft, err := workload.SoftwareDevelopment()
-	if err != nil {
-		return err
-	}
-	if s.email, err = runSweep("E-mail", email, emailUtils, pAll); err != nil {
-		return err
-	}
-	if s.soft, err = runSweep("Software Development", soft, softUtils, pAll); err != nil {
-		return err
-	}
-	return nil
+	s.once.Do(func() {
+		email, err := workload.Email()
+		if err != nil {
+			s.err = err
+			return
+		}
+		soft, err := workload.SoftwareDevelopment()
+		if err != nil {
+			s.err = err
+			return
+		}
+		if s.email, err = runSweep("E-mail", email, emailUtils, pAll, s.workers); err != nil {
+			s.err = err
+			return
+		}
+		s.soft, s.err = runSweep("Software Development", soft, softUtils, pAll, s.workers)
+	})
+	return s.err
 }
 
 // loadFigure builds the (a) E-mail / (b) Soft.Dev pair of one load-sweep
@@ -254,8 +280,11 @@ func (s *Suite) Figure8() (Result, error) {
 }
 
 // idleSweep solves the two trace workloads at their native utilizations
-// across idle-wait durations (in multiples of the mean service time).
-func idleSweep(metric func(core.Metrics) float64, id, title, ylabel string) (Result, error) {
+// across idle-wait durations (in multiples of the mean service time). The
+// figure and series skeletons are assembled serially; the independent solves
+// behind each point fan out over the worker pool and write their own
+// pre-allocated point.
+func idleSweep(workers int, metric func(core.Metrics) float64, id, title, ylabel string) (Result, error) {
 	email, err := workload.Email()
 	if err != nil {
 		return Result{}, err
@@ -265,10 +294,12 @@ func idleSweep(metric func(core.Metrics) float64, id, title, ylabel string) (Res
 		return Result{}, err
 	}
 	var res Result
+	var jobs []func() error
 	for _, w := range []workload.Named{
 		{Name: "E-mail", MAP: email},
 		{Name: "Software Development", MAP: soft},
 	} {
+		w := w
 		sub := "a"
 		if w.Name != "E-mail" {
 			sub = "b"
@@ -280,31 +311,41 @@ func idleSweep(metric func(core.Metrics) float64, id, title, ylabel string) (Res
 			YLabel: ylabel,
 		}
 		for _, p := range pBG {
+			p := p
 			pts := make([]Point, len(idleMults))
 			for i, mult := range idleMults {
-				// Idle wait of mult service times ⇒ α = µ/mult.
-				met, err := solveMetrics(w.MAP, p, core.IdleWaitPerJob, workload.ServiceRatePerMs/mult)
-				if err != nil {
-					return Result{}, fmt.Errorf("experiments: idle sweep %s p=%g mult=%g: %w", w.Name, p, mult, err)
-				}
-				pts[i] = Point{X: mult, Y: metric(met)}
+				i, mult := i, mult
+				jobs = append(jobs, func() error {
+					// Idle wait of mult service times ⇒ α = µ/mult.
+					met, err := solveMetrics(w.MAP, p, core.IdleWaitPerJob, workload.ServiceRatePerMs/mult)
+					if err != nil {
+						return fmt.Errorf("experiments: idle sweep %s p=%g mult=%g: %w", w.Name, p, mult, err)
+					}
+					pts[i] = Point{X: mult, Y: metric(met)}
+					return nil
+				})
 			}
 			f.Series = append(f.Series, Series{Label: fmt.Sprintf("p=%.1f", p), Points: pts})
 		}
 		res.Figures = append(res.Figures, f)
 	}
+	if err := par.Jobs(workers, jobs); err != nil {
+		return Result{}, err
+	}
 	return res, nil
 }
 
-// Figure9 reproduces the FG queue length versus idle-wait duration.
-func Figure9() (Result, error) {
-	return idleSweep(func(m core.Metrics) float64 { return m.QLenFG },
+// Figure9 reproduces the FG queue length versus idle-wait duration, fanning
+// the grid out over at most workers goroutines (0: all cores).
+func Figure9(workers int) (Result, error) {
+	return idleSweep(workers, func(m core.Metrics) float64 { return m.QLenFG },
 		"fig9", "Foreground queue length vs idle wait", "fg-qlen")
 }
 
-// Figure10 reproduces the BG completion rate versus idle-wait duration.
-func Figure10() (Result, error) {
-	return idleSweep(func(m core.Metrics) float64 { return m.CompBG },
+// Figure10 reproduces the BG completion rate versus idle-wait duration,
+// fanning the grid out over at most workers goroutines (0: all cores).
+func Figure10(workers int) (Result, error) {
+	return idleSweep(workers, func(m core.Metrics) float64 { return m.CompBG },
 		"fig10", "Background completion rate vs idle wait", "bg-completion")
 }
 
@@ -313,13 +354,15 @@ func Figure10() (Result, error) {
 // at p = 0.3 and p = 0.9. Following the paper's split x-axis, correlated and
 // independent processes are reported as separate sub-figures because they
 // saturate at utilizations an order of magnitude apart.
-func dependenceFigure(id, title, ylabel string, metric func(core.Metrics) float64) (Result, error) {
+func dependenceFigure(workers int, id, title, ylabel string, metric func(core.Metrics) float64) (Result, error) {
 	procs, err := workload.DependenceComparison()
 	if err != nil {
 		return Result{}, err
 	}
 	var res Result
+	var jobs []func() error
 	for _, p := range []float64{0.3, 0.9} {
+		p := p
 		for _, group := range []struct {
 			sub   string
 			names []string
@@ -335,25 +378,33 @@ func dependenceFigure(id, title, ylabel string, metric func(core.Metrics) float6
 				YLabel: ylabel,
 			}
 			for _, proc := range procs {
+				proc := proc
 				if !containsString(group.names, proc.Name) {
 					continue
 				}
-				pts := make([]Point, 0, len(group.utils))
-				for _, util := range group.utils {
-					scaled, err := workload.AtUtilization(proc.MAP, util)
-					if err != nil {
-						return Result{}, err
-					}
-					met, err := solveMetrics(scaled, p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
-					if err != nil {
-						return Result{}, fmt.Errorf("experiments: dependence %s util %g: %w", proc.Name, util, err)
-					}
-					pts = append(pts, Point{X: util, Y: metric(met)})
+				pts := make([]Point, len(group.utils))
+				for i, util := range group.utils {
+					i, util := i, util
+					jobs = append(jobs, func() error {
+						scaled, err := workload.AtUtilization(proc.MAP, util)
+						if err != nil {
+							return err
+						}
+						met, err := solveMetrics(scaled, p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
+						if err != nil {
+							return fmt.Errorf("experiments: dependence %s util %g: %w", proc.Name, util, err)
+						}
+						pts[i] = Point{X: util, Y: metric(met)}
+						return nil
+					})
 				}
 				f.Series = append(f.Series, Series{Label: proc.Name, Points: pts})
 			}
 			res.Figures = append(res.Figures, f)
 		}
+	}
+	if err := par.Jobs(workers, jobs); err != nil {
+		return Result{}, err
 	}
 	return res, nil
 }
@@ -367,22 +418,25 @@ func containsString(xs []string, v string) bool {
 	return false
 }
 
-// Figure11 reproduces the FG queue length under the four arrival processes.
-func Figure11() (Result, error) {
-	return dependenceFigure("fig11", "Average foreground queue length", "fg-qlen",
+// Figure11 reproduces the FG queue length under the four arrival processes,
+// fanning the grid out over at most workers goroutines (0: all cores).
+func Figure11(workers int) (Result, error) {
+	return dependenceFigure(workers, "fig11", "Average foreground queue length", "fg-qlen",
 		func(m core.Metrics) float64 { return m.QLenFG })
 }
 
 // Figure12 reproduces the BG completion rate under the four arrival
-// processes.
-func Figure12() (Result, error) {
-	return dependenceFigure("fig12", "Background completion rate", "bg-completion",
+// processes, fanning the grid out over at most workers goroutines (0: all
+// cores).
+func Figure12(workers int) (Result, error) {
+	return dependenceFigure(workers, "fig12", "Background completion rate", "bg-completion",
 		func(m core.Metrics) float64 { return m.CompBG })
 }
 
 // Figure13 reproduces the delayed-FG fraction under the four arrival
-// processes.
-func Figure13() (Result, error) {
-	return dependenceFigure("fig13", "Portion of foreground jobs delayed by a background job", "fg-delayed-frac",
+// processes, fanning the grid out over at most workers goroutines (0: all
+// cores).
+func Figure13(workers int) (Result, error) {
+	return dependenceFigure(workers, "fig13", "Portion of foreground jobs delayed by a background job", "fg-delayed-frac",
 		func(m core.Metrics) float64 { return m.WaitPFG })
 }

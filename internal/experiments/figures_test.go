@@ -232,11 +232,11 @@ func TestFigure8Shapes(t *testing.T) {
 }
 
 func TestFigure9And10IdleWaitTradeoff(t *testing.T) {
-	r9, err := Figure9()
+	r9, err := Figure9(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r10, err := Figure10()
+	r10, err := Figure10(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestFigure9And10IdleWaitTradeoff(t *testing.T) {
 }
 
 func TestFigure11Crossover(t *testing.T) {
-	r, err := Figure11()
+	r, err := Figure11(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestFigure11Crossover(t *testing.T) {
 }
 
 func TestFigure12DependenceHurtsCompletion(t *testing.T) {
-	r, err := Figure12()
+	r, err := Figure12(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestFigure12DependenceHurtsCompletion(t *testing.T) {
 }
 
 func TestFigure13PeakOrdering(t *testing.T) {
-	r, err := Figure13()
+	r, err := Figure13(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func TestAblationTables(t *testing.T) {
 }
 
 func TestExtensionTable(t *testing.T) {
-	r, err := Extension()
+	r, err := Extension(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestExtensionTable(t *testing.T) {
 }
 
 func TestBaselineTable(t *testing.T) {
-	r, err := Baseline()
+	r, err := Baseline(0)
 	if err != nil {
 		t.Fatal(err)
 	}

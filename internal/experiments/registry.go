@@ -20,6 +20,12 @@ type Options struct {
 	TraceLength int
 	// Seed drives the stochastic experiments (trace sampling, simulation).
 	Seed int64
+	// Workers bounds the fan-out of the sweep engine: independent grid
+	// points (QBD solves, validation simulations) run on at most Workers
+	// goroutines (0: all cores, 1: serial). Results are collected
+	// index-addressed, so every artifact is bit-identical across worker
+	// counts.
+	Workers int
 	// Validation sizes the simulation cross-check.
 	Validation ValidationOptions
 }
@@ -29,6 +35,7 @@ func (o Options) withDefaults() Options {
 		o.TraceLength = 3000000
 	}
 	o.Validation.Seed = o.Seed
+	o.Validation.Workers = o.Workers
 	return o
 }
 
@@ -36,7 +43,8 @@ func (o Options) withDefaults() Options {
 // sweeps reuse one Suite, so running them all solves each grid only once.
 func All(opts Options) []Generator {
 	opts = opts.withDefaults()
-	suite := NewSuite()
+	suite := NewSuiteWorkers(opts.Workers)
+	w := opts.Workers
 	return []Generator{
 		{Name: "1", Paper: "Fig. 1 — trace ACF and characteristics table",
 			Run: func() (Result, error) { return Figure1(opts.TraceLength, opts.Seed) }},
@@ -45,16 +53,25 @@ func All(opts Options) []Generator {
 		{Name: "6", Paper: "Fig. 6 — delayed FG fraction vs load", Run: suite.Figure6},
 		{Name: "7", Paper: "Fig. 7 — BG completion rate vs load", Run: suite.Figure7},
 		{Name: "8", Paper: "Fig. 8 — BG queue length vs load", Run: suite.Figure8},
-		{Name: "9", Paper: "Fig. 9 — FG queue length vs idle wait", Run: Figure9},
-		{Name: "10", Paper: "Fig. 10 — BG completion rate vs idle wait", Run: Figure10},
-		{Name: "11", Paper: "Fig. 11 — FG queue length across arrival processes", Run: Figure11},
-		{Name: "12", Paper: "Fig. 12 — BG completion rate across arrival processes", Run: Figure12},
-		{Name: "13", Paper: "Fig. 13 — delayed FG fraction across arrival processes", Run: Figure13},
+		{Name: "9", Paper: "Fig. 9 — FG queue length vs idle wait",
+			Run: func() (Result, error) { return Figure9(w) }},
+		{Name: "10", Paper: "Fig. 10 — BG completion rate vs idle wait",
+			Run: func() (Result, error) { return Figure10(w) }},
+		{Name: "11", Paper: "Fig. 11 — FG queue length across arrival processes",
+			Run: func() (Result, error) { return Figure11(w) }},
+		{Name: "12", Paper: "Fig. 12 — BG completion rate across arrival processes",
+			Run: func() (Result, error) { return Figure12(w) }},
+		{Name: "13", Paper: "Fig. 13 — delayed FG fraction across arrival processes",
+			Run: func() (Result, error) { return Figure13(w) }},
 		{Name: "validation", Paper: "V-1 — analytic vs simulation cross-check",
 			Run: func() (Result, error) { return Validation(opts.Validation) }},
 		{Name: "ablation", Paper: "A-1 — idle policy and buffer-size ablations", Run: Ablation},
-		{Name: "extension", Paper: "E-1 — two background priority classes (the paper's future work)", Run: Extension},
-		{Name: "baseline", Paper: "B-1 — exact chain vs classical vacation-model decomposition", Run: Baseline},
+		{Name: "extension", Paper: "E-1 — two background priority classes (the paper's future work)",
+			Run: func() (Result, error) { return Extension(w) }},
+		{Name: "baseline", Paper: "B-1 — exact chain vs classical vacation-model decomposition",
+			Run: func() (Result, error) { return Baseline(w) }},
+		// Scalability stays serial by design: it reports per-solve wall-clock
+		// timings, which concurrent solves would pollute.
 		{Name: "scalability", Paper: "S-1 — solver wall-clock scaling with the state space", Run: Scalability},
 	}
 }

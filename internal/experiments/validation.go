@@ -5,6 +5,7 @@ import (
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
+	"bgperf/internal/par"
 	"bgperf/internal/phtype"
 	"bgperf/internal/sim"
 	"bgperf/internal/workload"
@@ -17,6 +18,10 @@ type ValidationOptions struct {
 	MeasureTime float64
 	// Seed makes the runs reproducible.
 	Seed int64
+	// Workers bounds the fan-out over the validation cases (0: all cores).
+	// Each case carries its own derived seed, so the table is identical for
+	// every worker count.
+	Workers int
 }
 
 func (o ValidationOptions) withDefaults() ValidationOptions {
@@ -68,14 +73,18 @@ func Validation(opts ValidationOptions) (Result, error) {
 		},
 		Notes: "idle wait = mean service time, buffer 5; simulation window " + fmtG(opts.MeasureTime) + " ms",
 	}
-	for i, c := range cases {
+	// Each case is one analytic solve plus one long simulation with its own
+	// derived seed, so cases fan out over the worker pool independently.
+	tbl.Rows = make([][]string, len(cases))
+	err = par.For(opts.Workers, len(cases), func(i int) error {
+		c := cases[i]
 		scaled, err := workload.AtUtilization(c.m, c.util)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		ana, err := solveMetrics(scaled, c.p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
 		if err != nil {
-			return Result{}, fmt.Errorf("experiments: validation %s: %w", c.name, err)
+			return fmt.Errorf("experiments: validation %s: %w", c.name, err)
 		}
 		res, err := sim.Run(sim.Config{
 			Arrival:     scaled,
@@ -88,14 +97,18 @@ func Validation(opts ValidationOptions) (Result, error) {
 			MeasureTime: opts.MeasureTime,
 		})
 		if err != nil {
-			return Result{}, fmt.Errorf("experiments: validation sim %s: %w", c.name, err)
+			return fmt.Errorf("experiments: validation sim %s: %w", c.name, err)
 		}
-		tbl.Rows = append(tbl.Rows, []string{
+		tbl.Rows[i] = []string{
 			c.name, fmt.Sprintf("%.2f", c.util), fmt.Sprintf("%.1f", c.p),
 			fmtG(ana.QLenFG), fmtG(res.Metrics.QLenFG), fmtG(res.QLenFGHalf),
 			fmtG(ana.CompBG), fmtG(res.Metrics.CompBG),
 			fmtG(ana.WaitPFG), fmtG(res.Metrics.WaitPFG),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{Tables: []Table{tbl}}, nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 )
 
 // ErrSingular is returned by factorizations and solvers when the input matrix
@@ -28,6 +29,18 @@ type Matrix struct {
 	rows, cols int
 	a          []float64
 }
+
+// mulCount counts matrix-matrix products process-wide; see MulCount.
+var mulCount atomic.Int64
+
+// MulCount returns the cumulative number of matrix-matrix products (Mul or
+// MulInto calls) performed process-wide since start or the last
+// ResetMulCount. It exists so tests can assert operation budgets on solver
+// hot loops. Safe for concurrent use.
+func MulCount() int64 { return mulCount.Load() }
+
+// ResetMulCount zeroes the counter reported by MulCount.
+func ResetMulCount() { mulCount.Store(0) }
 
 // New returns a zero-valued rows×cols matrix.
 func New(rows, cols int) *Matrix {
@@ -182,6 +195,7 @@ func (m *Matrix) MulInto(a, b *Matrix) {
 	if a.cols != b.rows || m.rows != a.rows || m.cols != b.cols {
 		panic(ErrShape)
 	}
+	mulCount.Add(1)
 	for i := 0; i < a.rows; i++ {
 		dst := m.a[i*m.cols : (i+1)*m.cols]
 		for k := range dst {

@@ -1,0 +1,71 @@
+// Package par provides the bounded worker-pool primitive behind the parallel
+// experiment sweep engine and the simulator's replication runner. It is
+// deliberately tiny — stdlib sync only — and designed for deterministic
+// results: callers write results index-addressed into caller-owned storage,
+// so output is bit-identical to a serial loop regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) across a bounded pool of workers
+// (workers <= 0: runtime.GOMAXPROCS(0), i.e. all cores). fn must be safe to
+// call from multiple goroutines and must write any result index-addressed
+// into storage owned by the caller; For never reorders or drops indices.
+//
+// Every index runs regardless of failures elsewhere; afterwards For returns
+// the error of the lowest failing index, so error selection matches a serial
+// loop that solved every point, independent of goroutine scheduling. With
+// one worker (or n <= 1) it degenerates to exactly that serial loop, except
+// that the serial path stops at the first error.
+func For(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Jobs runs every closure in jobs across a bounded pool of workers, with the
+// same determinism and error-selection contract as For.
+func Jobs(workers int, jobs []func() error) error {
+	return For(workers, len(jobs), func(i int) error { return jobs[i]() })
+}

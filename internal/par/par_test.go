@@ -1,0 +1,101 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		if err := For(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := For(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(4, -3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+// TestForLowestIndexError pins the deterministic error contract: whatever the
+// scheduling, the error of the lowest failing index wins.
+func TestForLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 8} {
+		err := For(workers, 50, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, …
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: want sentinel error, got %v", workers, err)
+		}
+		if want := "index 3: boom"; err.Error() != want {
+			t.Fatalf("workers=%d: want %q, got %q", workers, want, err)
+		}
+	}
+}
+
+// TestForBoundedConcurrency checks the pool never has more than `workers`
+// calls in flight.
+func TestForBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := For(workers, 200, func(int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestJobs(t *testing.T) {
+	var sum atomic.Int64
+	jobs := make([]func() error, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() error { sum.Add(int64(i)); return nil }
+	}
+	if err := Jobs(4, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 45 {
+		t.Fatalf("sum = %d, want 45", got)
+	}
+	if err := Jobs(2, nil); err != nil {
+		t.Fatal(err)
+	}
+}

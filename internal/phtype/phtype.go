@@ -23,7 +23,8 @@ var ErrInvalid = errors.New("phtype: invalid distribution")
 // Dist is a continuous phase-type distribution (β, T): β is the initial
 // probability vector over S transient phases and T the S×S transient
 // generator (strictly substochastic rows). The exit-rate vector is t = −T·1.
-// A Dist is immutable after construction.
+// A Dist is immutable after construction and safe to share across
+// goroutines; only its Samplers carry mutable state.
 type Dist struct {
 	beta []float64
 	t    *mat.Matrix
@@ -289,7 +290,8 @@ func (d *Dist) CDF(x float64) float64 {
 	return 1 - survival
 }
 
-// Sampler draws variates from the distribution; not safe for concurrent use.
+// Sampler draws variates from the distribution. A Sampler is not safe for
+// concurrent use: give each goroutine its own via NewSampler.
 type Sampler struct {
 	d   *Dist
 	rng *rand.Rand

@@ -1,0 +1,70 @@
+package qbd
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/mat"
+)
+
+// logRedBlocks returns a small recurrent uniformized QBD (DTMC blocks):
+// nonnegative, rows of b0+b1+b2 summing to one, downward drift dominant.
+func logRedBlocks() (b0, b1, b2 *mat.Matrix) {
+	b0 = mat.MustFromRows([][]float64{{0.1, 0.1}, {0.05, 0.1}})
+	b1 = mat.MustFromRows([][]float64{{0.2, 0.2}, {0.15, 0.2}})
+	b2 = mat.MustFromRows([][]float64{{0.3, 0.1}, {0.2, 0.3}})
+	return b0, b1, b2
+}
+
+// TestLogReductionMulBudget is the regression test for the redundant
+// t·l product the loop used to compute twice per iteration (once for the G
+// update, again for the step criterion). The fixed loop performs exactly
+// eight matrix-matrix products per iteration (two for u, h², l², the two
+// inverse applications, the shared t·l, and the t·h advance — the latter
+// skipped on the final iteration) plus the two pre-loop kernel products:
+// 8·iters + 2 − 1. The buggy version needed 9·iters + 1.
+func TestLogReductionMulBudget(t *testing.T) {
+	b0, b1, b2 := logRedBlocks()
+	mat.ResetMulCount()
+	g, iters, err := logReduction(b0, b1, b2)
+	muls := mat.MulCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 1 {
+		t.Fatalf("expected at least one iteration, got %d", iters)
+	}
+	want := int64(8*iters + 1)
+	if muls != want {
+		t.Fatalf("logReduction used %d matrix products over %d iterations, want exactly %d (one t·l per iteration)",
+			muls, iters, want)
+	}
+	// Sanity: G of a recurrent QBD is stochastic.
+	for i, s := range g.RowSums() {
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("G row %d sums to %g, want 1", i, s)
+		}
+	}
+}
+
+// TestLogReductionMatchesProcessG checks the counted path is the same one
+// Process.G uses, so the budget above governs every solve.
+func TestLogReductionMatchesProcessG(t *testing.T) {
+	// A CTMC QBD whose uniformization is well-conditioned.
+	a0 := mat.MustFromRows([][]float64{{0.4, 0}, {0.1, 0.2}})
+	a1 := mat.MustFromRows([][]float64{{-2.4, 0.5}, {0.3, -2.0}})
+	a2 := mat.MustFromRows([][]float64{{1.0, 0.5}, {0.4, 1.0}})
+	p, err := New(a0, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.G()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range g.RowSums() {
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("G row %d sums to %g, want 1", i, s)
+		}
+	}
+}

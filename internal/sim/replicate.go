@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"bgperf/internal/core"
+	"bgperf/internal/par"
+)
+
+// ReplicationResult aggregates independent simulation replications of one
+// configuration: the across-replication mean of every metric plus ~95%
+// confidence half-widths on the headline queue lengths and the foreground
+// response time.
+type ReplicationResult struct {
+	// Mean holds the arithmetic mean of each metric across replications.
+	Mean core.Metrics `json:"mean"`
+	// Reps is the number of replications aggregated.
+	Reps int `json:"reps"`
+	// QLenFGHalf, QLenBGHalf, and RespTimeFGHalf are ±half-widths of ~95%
+	// confidence intervals. With a single replication they fall back to that
+	// run's batch-means half-widths (zero for RespTimeFGHalf); with two or
+	// more they are Student-t intervals over the per-replication means.
+	QLenFGHalf     float64 `json:"qlenFGHalf"`
+	QLenBGHalf     float64 `json:"qlenBGHalf"`
+	RespTimeFGHalf float64 `json:"respTimeFGHalf"`
+	// Replications are the underlying per-replication results, in seed
+	// order. Excluded from JSON output to keep it compact.
+	Replications []*Result `json:"-"`
+}
+
+// RunReplications simulates reps independent replications of cfg across a
+// bounded pool of at most workers goroutines (0: all cores) and aggregates
+// them. Replication r runs with its own rand.Rand stream derived from
+// cfg.Seed + r, so replication 0 reproduces Run(cfg) exactly and the
+// aggregate is bit-identical for every worker count.
+func RunReplications(cfg Config, reps, workers int) (*ReplicationResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("%w: need at least 1 replication, got %d", ErrConfig, reps)
+	}
+	results := make([]*Result, reps)
+	err := par.For(workers, reps, func(r int) error {
+		repCfg := cfg
+		repCfg.Seed = cfg.Seed + int64(r)
+		res, err := Run(repCfg)
+		if err != nil {
+			return fmt.Errorf("replication %d (seed %d): %w", r, repCfg.Seed, err)
+		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &ReplicationResult{Reps: reps, Replications: results}
+	for _, res := range results {
+		addMetrics(&agg.Mean, res.Metrics)
+	}
+	scaleMetrics(&agg.Mean, 1/float64(reps))
+	if reps == 1 {
+		agg.QLenFGHalf = results[0].QLenFGHalf
+		agg.QLenBGHalf = results[0].QLenBGHalf
+		return agg, nil
+	}
+	agg.QLenFGHalf = tHalfWidth(results, func(r *Result) float64 { return r.Metrics.QLenFG })
+	agg.QLenBGHalf = tHalfWidth(results, func(r *Result) float64 { return r.Metrics.QLenBG })
+	agg.RespTimeFGHalf = tHalfWidth(results, func(r *Result) float64 { return r.Metrics.RespTimeFG })
+	return agg, nil
+}
+
+// addMetrics accumulates src into dst field by field.
+func addMetrics(dst *core.Metrics, src core.Metrics) {
+	dst.QLenFG += src.QLenFG
+	dst.QLenBG += src.QLenBG
+	dst.CompBG += src.CompBG
+	dst.WaitPFG += src.WaitPFG
+	dst.UtilFG += src.UtilFG
+	dst.UtilBG += src.UtilBG
+	dst.ProbIdleWait += src.ProbIdleWait
+	dst.ProbEmpty += src.ProbEmpty
+	dst.ThroughputFG += src.ThroughputFG
+	dst.ThroughputBG += src.ThroughputBG
+	dst.GenRateBG += src.GenRateBG
+	dst.DropRateBG += src.DropRateBG
+	dst.RespTimeFG += src.RespTimeFG
+	dst.RespTimeBG += src.RespTimeBG
+}
+
+// scaleMetrics multiplies every field of m by c.
+func scaleMetrics(m *core.Metrics, c float64) {
+	m.QLenFG *= c
+	m.QLenBG *= c
+	m.CompBG *= c
+	m.WaitPFG *= c
+	m.UtilFG *= c
+	m.UtilBG *= c
+	m.ProbIdleWait *= c
+	m.ProbEmpty *= c
+	m.ThroughputFG *= c
+	m.ThroughputBG *= c
+	m.GenRateBG *= c
+	m.DropRateBG *= c
+	m.RespTimeFG *= c
+	m.RespTimeBG *= c
+}
+
+// t95 holds two-sided 95% Student-t critical values for 1..30 degrees of
+// freedom; beyond that the normal value 1.96 is close enough.
+var t95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
+}
+
+// tHalfWidth returns the ±half-width of a 95% Student-t confidence interval
+// for the mean of value(r) across the replications.
+func tHalfWidth(results []*Result, value func(*Result) float64) float64 {
+	n := float64(len(results))
+	var mean float64
+	for _, r := range results {
+		mean += value(r)
+	}
+	mean /= n
+	var ss float64
+	for _, r := range results {
+		d := value(r) - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return tCritical95(len(results)-1) * sd / math.Sqrt(n)
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/workload"
+)
+
+func replicationConfig(t *testing.T) Config {
+	t.Helper()
+	m, err := arrival.Poisson(0.5 * workload.ServiceRatePerMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Arrival:     m,
+		ServiceRate: workload.ServiceRatePerMs,
+		BGProb:      0.6,
+		BGBuffer:    5,
+		IdleRate:    workload.ServiceRatePerMs,
+		Seed:        7,
+		WarmupTime:  5e4,
+		MeasureTime: 1e6,
+	}
+}
+
+// TestRunReplicationsDeterministicAcrossWorkers pins the tentpole guarantee:
+// parallel replications aggregate to exactly the serial result.
+func TestRunReplicationsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := replicationConfig(t)
+	serial, err := RunReplications(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReplications(cfg, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Mean, parallel.Mean) {
+		t.Fatalf("means differ across worker counts:\nserial   %+v\nparallel %+v", serial.Mean, parallel.Mean)
+	}
+	if serial.QLenFGHalf != parallel.QLenFGHalf || serial.QLenBGHalf != parallel.QLenBGHalf ||
+		serial.RespTimeFGHalf != parallel.RespTimeFGHalf {
+		t.Fatalf("half-widths differ across worker counts")
+	}
+}
+
+// TestRunReplicationsSeedStreams checks replication r is exactly Run with
+// seed cfg.Seed + r, i.e. replications use distinct deterministic streams.
+func TestRunReplicationsSeedStreams(t *testing.T) {
+	cfg := replicationConfig(t)
+	agg, err := RunReplications(cfg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reps != 3 || len(agg.Replications) != 3 {
+		t.Fatalf("want 3 replications, got Reps=%d len=%d", agg.Reps, len(agg.Replications))
+	}
+	for r := 0; r < 3; r++ {
+		repCfg := cfg
+		repCfg.Seed = cfg.Seed + int64(r)
+		want, err := Run(repCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(agg.Replications[r].Metrics, want.Metrics) {
+			t.Fatalf("replication %d does not match Run with seed %d", r, repCfg.Seed)
+		}
+		if r > 0 && reflect.DeepEqual(agg.Replications[r].Counters, agg.Replications[0].Counters) {
+			t.Fatalf("replication %d produced identical counters to replication 0 — streams not independent", r)
+		}
+	}
+	// The mean is the arithmetic mean of the per-replication values.
+	wantMean := (agg.Replications[0].Metrics.QLenFG +
+		agg.Replications[1].Metrics.QLenFG +
+		agg.Replications[2].Metrics.QLenFG) / 3
+	if math.Abs(agg.Mean.QLenFG-wantMean) > 1e-15*math.Abs(wantMean) {
+		t.Fatalf("Mean.QLenFG = %g, want %g", agg.Mean.QLenFG, wantMean)
+	}
+}
+
+func TestRunReplicationsSingleFallsBackToBatchCI(t *testing.T) {
+	cfg := replicationConfig(t)
+	agg, err := RunReplications(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agg.Mean, single.Metrics) {
+		t.Fatalf("single-replication mean differs from Run")
+	}
+	if agg.QLenFGHalf != single.QLenFGHalf || agg.QLenBGHalf != single.QLenBGHalf {
+		t.Fatalf("single-replication CI should fall back to batch means")
+	}
+}
+
+func TestRunReplicationsValidatesReps(t *testing.T) {
+	cfg := replicationConfig(t)
+	if _, err := RunReplications(cfg, 0, 0); err == nil {
+		t.Fatal("want error for reps=0")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := tCritical95(1); got != 12.706 {
+		t.Fatalf("t(1) = %g", got)
+	}
+	if got := tCritical95(30); got != 2.042 {
+		t.Fatalf("t(30) = %g", got)
+	}
+	if got := tCritical95(31); got != 1.96 {
+		t.Fatalf("t(31) = %g", got)
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Fatal("t(0) should be NaN")
+	}
+}

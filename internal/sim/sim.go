@@ -157,6 +157,12 @@ const (
 const inf = math.MaxFloat64
 
 // Run simulates the system and returns measured metrics.
+//
+// Run is safe to call concurrently from multiple goroutines, including with
+// the same Config value: every call owns its random streams, and the
+// structures a Config references (arrival.MAP, phtype.Dist) are immutable.
+// Use RunReplications to fan independent replications out over a worker
+// pool and aggregate them.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {

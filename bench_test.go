@@ -23,6 +23,7 @@ func benchOptions() experiments.Options {
 
 func benchFigure(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// A fresh registry per iteration defeats the Suite's sweep cache, so
@@ -74,6 +75,7 @@ func BenchmarkScalability(b *testing.B) { benchFigure(b, "scalability") }
 // BG-probability sweep (the Suite's cached computation) plus rendering prep.
 func benchSuiteWorkers(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuiteWorkers(workers)

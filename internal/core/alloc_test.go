@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"bgperf/internal/raceflag"
+)
+
+// TestSolveAllocBudget pins an upper bound on the allocation count of a full
+// model build + solve, so solver-path allocation regressions (the kind fixed
+// by the workspace-reuse rewrite) fail loudly instead of silently degrading
+// sweep throughput. The bound carries ~30% headroom over the measured count;
+// if a legitimate change raises it, re-measure and update the budget.
+func TestSolveAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	cfg := poissonCfg(t, 0.7, 1.0, 0.3, 5, 10.0)
+	run := func() {
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up lazy runtime state
+	allocs := testing.AllocsPerRun(10, run)
+	const budget = 500 // measured ~374 on go1.x amd64
+	if allocs > budget {
+		t.Fatalf("NewModel+Solve allocated %.0f times per run, budget %d", allocs, budget)
+	}
+	t.Logf("NewModel+Solve: %.0f allocs per run (budget %d)", allocs, budget)
+}

@@ -41,14 +41,56 @@ func downTargetAfterFGCompletion(x, yLeft int) block {
 // starts another service (FG or BG target) resets the service phase with
 // t·β; one that empties the system parks the stage with t·e₀; one that
 // arms the idle-wait timer additionally resets the idle stage to κ.
+//
+// Every call during chain assembly uses prob ∈ {1, p, 1−p}, and the scaled
+// products are identical across levels, so they are precomputed once at
+// build time (buildComplCache); unknown probabilities fall back to a fresh
+// scale. The returned matrix is shared and must not be mutated.
 func (m *Model) completionRate(to block, prob float64) *mat.Matrix {
+	base := complStopEmptyIdx
 	switch to.kind {
 	case KindFG, KindBG:
-		return scaled(m.complServe, prob)
+		base = complServeIdx
 	case KindIdle:
-		return scaled(m.complStopIdle, prob)
+		base = complStopIdleIdx
+	}
+	switch prob {
+	case 1:
+		return m.complCache[base][0]
+	case m.cfg.BGProb:
+		return m.complCache[base][1]
+	case 1 - m.cfg.BGProb:
+		return m.complCache[base][2]
+	}
+	return scaled(m.complBase(base), prob)
+}
+
+// Completion-rate cache indices: the base matrix by completion target.
+const (
+	complServeIdx = iota
+	complStopIdleIdx
+	complStopEmptyIdx
+)
+
+func (m *Model) complBase(base int) *mat.Matrix {
+	switch base {
+	case complServeIdx:
+		return m.complServe
+	case complStopIdleIdx:
+		return m.complStopIdle
 	default:
-		return scaled(m.complStopEmpty, prob)
+		return m.complStopEmpty
+	}
+}
+
+// buildComplCache precomputes completionRate's scaled matrices for the three
+// probabilities chain assembly uses (1, p, 1−p) across the three completion
+// targets.
+func (m *Model) buildComplCache() {
+	p := m.cfg.BGProb
+	for base := complServeIdx; base <= complStopEmptyIdx; base++ {
+		src := m.complBase(base)
+		m.complCache[base] = [3]*mat.Matrix{scaled(src, 1), scaled(src, p), scaled(src, 1-p)}
 	}
 }
 
@@ -56,11 +98,14 @@ func (m *Model) completionRate(to block, prob float64) *mat.Matrix {
 // level, encoding the chain of the paper's Fig. 3/4 (with the service
 // dimension of footnote 3 folded into the composite phases).
 func (m *Model) transitionsFrom(level int) []trans {
+	blocks := m.levelBlocks(level)
 	var (
 		cfg = m.cfg
 		p   = cfg.BGProb
 		x   = m.xEff
-		out []trans
+		// Worst case: five emitted transitions per block (FG with BG
+		// admission); one allocation instead of log-many append growths.
+		out = make([]trans, 0, 5*len(blocks))
 	)
 	emit := func(from block, dLevel int, to block, rate *mat.Matrix) {
 		if rate == nil {
@@ -73,7 +118,7 @@ func (m *Model) transitionsFrom(level int) []trans {
 		}
 		out = append(out, trans{dLevel: dLevel, fromIdx: fromIdx, toIdx: toIdx, rate: rate})
 	}
-	for _, b := range m.levelBlocks(level) {
+	for _, b := range blocks {
 		y := level - b.x // FG jobs in system (0 for Empty/Idle by construction)
 		switch b.kind {
 		case KindEmpty:
@@ -173,11 +218,10 @@ func (m *Model) levelMatrices(level int) (down, local, up *mat.Matrix) {
 func fixDiagonal(local *mat.Matrix, others ...*mat.Matrix) {
 	n := local.Rows()
 	for i := 0; i < n; i++ {
-		var sum float64
-		sum += mat.Sum(local.Row(i))
+		sum := local.RowSum(i)
 		for _, o := range others {
 			if o != nil {
-				sum += mat.Sum(o.Row(i))
+				sum += o.RowSum(i)
 			}
 		}
 		local.Add(i, i, -sum)
@@ -247,7 +291,7 @@ func (m *Model) Generator(maxLevel int) *mat.Matrix {
 		}
 	}
 	for i := 0; i < total; i++ {
-		g.Add(i, i, -mat.Sum(g.Row(i)))
+		g.Add(i, i, -g.RowSum(i))
 	}
 	return g
 }

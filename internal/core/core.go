@@ -199,6 +199,18 @@ type Model struct {
 	rateVec []float64 // per-composite-state arrival rates (D1 row sums)
 	exitVec []float64 // per-composite-state service completion rates
 
+	// complCache holds the precomputed completion-rate matrices
+	// [target][prob] for prob ∈ {1, p, 1−p}; see completionRate.
+	complCache [3][3]*mat.Matrix
+
+	// blockLayout[j] caches levelBlocks(j) for the boundary levels
+	// j = 0..xEff; repLayout is the shared layout of every repeating level
+	// (> xEff). Chain assembly resolves block indices per transition, so
+	// levelBlocks must not allocate per call. The cached slices are shared:
+	// callers must not modify them.
+	blockLayout [][]block
+	repLayout   []block
+
 	// xEff is the buffer size used for state-space construction: it equals
 	// cfg.BGBuffer except when BGProb = 0, where BG and idle-wait states are
 	// unreachable and are pruned to keep the phase process irreducible.
@@ -364,6 +376,12 @@ func NewModel(cfg Config) (*Model, error) {
 		m.vOff = iA.Kron(iS).Kron(vOffW)
 		m.idleGo = iA.Kron(startS).Kron(vStop)
 	}
+	m.buildComplCache()
+	m.blockLayout = make([][]block, xEff+1)
+	for j := 0; j <= xEff; j++ {
+		m.blockLayout[j] = buildLevelBlocks(j, xEff)
+	}
+	m.repLayout = buildLevelBlocks(xEff+1, xEff)
 	dim := a * sN * wN
 	m.rateVec = make([]float64, dim)
 	m.exitVec = make([]float64, dim)
@@ -430,9 +448,18 @@ func (m *Model) FGUtilization() float64 {
 
 // levelBlocks enumerates the blocks of one level in the paper's π order:
 // (0,j), then (x,j−x) and (x',j−x) for growing x, ending at boundary levels
-// with the idle-wait pair (j,0), (j',0).
+// with the idle-wait pair (j,0), (j',0). The returned slice is cached and
+// shared — callers must treat it as read-only.
 func (m *Model) levelBlocks(level int) []block {
-	x := m.xEff
+	if level <= m.xEff {
+		return m.blockLayout[level]
+	}
+	return m.repLayout
+}
+
+// buildLevelBlocks constructs the block layout of one level for a buffer of
+// size x; levelBlocks serves cached copies of these.
+func buildLevelBlocks(level, x int) []block {
 	if level == 0 {
 		return []block{{kind: KindEmpty}}
 	}

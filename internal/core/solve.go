@@ -62,6 +62,11 @@ type Solution struct {
 	sol   *qbd.Solution
 
 	repBlocks []block
+
+	// Geometric-tail moment vectors, fetched once from the QBD solution:
+	// maskedMass probes them for every metric, so they are not re-fetched
+	// (and re-copied) per call.
+	tail, tailW, tailW2 []float64
 }
 
 // Solve builds the QBD, computes its stationary distribution, and assembles
@@ -78,6 +83,9 @@ func (m *Model) Solve() (*Solution, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.xEff + 1)}
+	s.tail = qsol.TailSum()
+	s.tailW = qsol.TailWeightedSum()
+	s.tailW2 = qsol.TailSquareWeightedSum()
 	s.computeMetrics()
 	return s, nil
 }
@@ -107,9 +115,7 @@ func (s *Solution) maskedMass(keep func(b block, level int) bool, weight func(b 
 	// quadratic coefficients are recovered per block/phase by probing the
 	// weight at three consecutive levels.
 	first := s.sol.FirstRepLevel()
-	tail := s.sol.TailSum()
-	tailW := s.sol.TailWeightedSum()
-	tailW2 := s.sol.TailSquareWeightedSum()
+	tail, tailW, tailW2 := s.tail, s.tailW, s.tailW2
 	for bi, b := range s.repBlocks {
 		if !keep(b, first) || !keep(b, first+1) {
 			// Keeps must be level-uniform over repeating levels; every
@@ -272,11 +278,14 @@ func (s *Solution) FGQueueDist(maxN int) []float64 {
 			}
 		}
 	}
-	// Tail levels: y = level − x; walk R powers once.
+	// Tail levels: y = level − x; walk R powers once, ping-ponging two
+	// vector buffers (π·R is a row-vector product, so the former per-level
+	// R.Transpose() is gone entirely). FGQueueQuantile calls this in a
+	// doubling loop, so the walk must not allocate per level.
 	first := s.sol.FirstRepLevel()
 	maxLevel := first + maxN + m.xEff
 	v := s.sol.LevelPi(first)
-	rT := s.sol.R.Transpose()
+	w := make([]float64, len(v))
 	for level := first; level <= maxLevel; level++ {
 		for bi, b := range s.repBlocks {
 			y := level - b.x
@@ -287,7 +296,8 @@ func (s *Solution) FGQueueDist(maxN int) []float64 {
 				dist[y] += v[bi*a+ph]
 			}
 		}
-		v = rT.MulVec(v)
+		s.sol.R.VecMulInto(w, v)
+		v, w = w, v
 	}
 	return dist
 }

@@ -11,9 +11,23 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"bgperf/internal/mat"
 )
+
+// stationaryCount counts StationaryCTMC solves process-wide; see
+// StationaryCalls.
+var stationaryCount atomic.Int64
+
+// StationaryCalls returns the cumulative number of StationaryCTMC solves
+// performed process-wide since start or the last ResetStationaryCalls. It
+// exists so tests can assert call budgets on solver paths (e.g. that a QBD
+// solve runs exactly one drift computation). Safe for concurrent use.
+func StationaryCalls() int64 { return stationaryCount.Load() }
+
+// ResetStationaryCalls zeroes the counter reported by StationaryCalls.
+func ResetStationaryCalls() { stationaryCount.Store(0) }
 
 // ErrNotGenerator reports a matrix that is not a CTMC infinitesimal
 // generator (nonnegative off-diagonal entries, zero row sums).
@@ -95,6 +109,7 @@ func CheckStochastic(p *mat.Matrix, tol float64) error {
 // StationaryCTMC returns the stationary probability vector π of the
 // irreducible CTMC with generator q: πQ = 0, πe = 1.
 func StationaryCTMC(q *mat.Matrix) ([]float64, error) {
+	stationaryCount.Add(1)
 	if err := CheckGenerator(q, 0); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package mat
+
+// Matrix-multiply kernels behind MulInto.
+//
+// The naive kernel is the original i-k-j loop with a zero-skip on a's
+// entries; it wins on the small, structurally sparse generator blocks of the
+// paper's default model (order ~20). The blocked kernel targets the larger
+// dense blocks produced by the Extension and Scalability sweeps: it tiles the
+// output columns so the destination row stays cache-hot, and unrolls the k
+// loop 4-way so each destination element is loaded and stored once per four
+// accumulations instead of once per one.
+//
+// Determinism contract: for every output element, both kernels apply the
+// products in strictly ascending k order with no reassociation, so they
+// produce identical floating-point results (up to the sign of exact zeros).
+// Tests in kernels_test.go pin this.
+
+const (
+	// blockedMulMin is the minimum inner dimension (a.cols) and output width
+	// (b.cols) at which the blocked kernel pays for its bookkeeping. The
+	// paper-default model solves blocks of order ~22, which stay on the naive
+	// kernel; the Extension (two-priority) and Scalability (X = 50) sweeps
+	// cross the threshold.
+	blockedMulMin = 24
+	// mulBlockJ is the output-column tile width in float64s (2 KiB per row
+	// tile), sized so a destination tile plus four source rows stay in L1.
+	mulBlockJ = 256
+)
+
+// mulIntoNaive is the zero-skipping triple loop for small or sparse operands.
+func mulIntoNaive(m, a, b *Matrix) {
+	for i := 0; i < a.rows; i++ {
+		dst := m.a[i*m.cols : (i+1)*m.cols]
+		for k := range dst {
+			dst[k] = 0
+		}
+		for k := 0; k < a.cols; k++ {
+			aik := a.a[i*a.cols+k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.a[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				dst[j] += aik * bv
+			}
+		}
+	}
+}
+
+// mulIntoBlocked is the column-tiled, 4-way k-unrolled kernel for large
+// dense operands.
+func mulIntoBlocked(m, a, b *Matrix) {
+	rows, inner, width := a.rows, a.cols, b.cols
+	for jt := 0; jt < width; jt += mulBlockJ {
+		jhi := jt + mulBlockJ
+		if jhi > width {
+			jhi = width
+		}
+		for i := 0; i < rows; i++ {
+			dst := m.a[i*width+jt : i*width+jhi]
+			for j := range dst {
+				dst[j] = 0
+			}
+			arow := a.a[i*inner : (i+1)*inner]
+			k := 0
+			for ; k+3 < inner; k += 4 {
+				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.a[k*width+jt : k*width+jhi]
+				b1 := b.a[(k+1)*width+jt : (k+1)*width+jhi]
+				b2 := b.a[(k+2)*width+jt : (k+2)*width+jhi]
+				b3 := b.a[(k+3)*width+jt : (k+3)*width+jhi]
+				for j := range dst {
+					// Four separate accumulations (not one summed
+					// expression) keep the k-ascending rounding order of the
+					// naive kernel.
+					t := dst[j]
+					t += a0 * b0[j]
+					t += a1 * b1[j]
+					t += a2 * b2[j]
+					t += a3 * b3[j]
+					dst[j] = t
+				}
+			}
+			for ; k < inner; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.a[k*width+jt : k*width+jhi]
+				for j, bv := range brow {
+					dst[j] += aik * bv
+				}
+			}
+		}
+	}
+}

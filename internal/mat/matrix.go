@@ -182,6 +182,64 @@ func (m *Matrix) AddInPlace(n *Matrix) *Matrix {
 	return m
 }
 
+// AddInto sets m = a + b entrywise and returns m. The receiver may alias a
+// and/or b.
+func (m *Matrix) AddInto(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols || m.rows != a.rows || m.cols != a.cols {
+		panic(ErrShape)
+	}
+	for i := range m.a {
+		m.a[i] = a.a[i] + b.a[i]
+	}
+	return m
+}
+
+// SubInto sets m = a − b entrywise and returns m. The receiver may alias a
+// and/or b.
+func (m *Matrix) SubInto(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols || m.rows != a.rows || m.cols != a.cols {
+		panic(ErrShape)
+	}
+	for i := range m.a {
+		m.a[i] = a.a[i] - b.a[i]
+	}
+	return m
+}
+
+// ScaleInto sets m = s·a entrywise and returns m. The receiver may alias a.
+func (m *Matrix) ScaleInto(a *Matrix, s float64) *Matrix {
+	if m.rows != a.rows || m.cols != a.cols {
+		panic(ErrShape)
+	}
+	for i := range m.a {
+		m.a[i] = a.a[i] * s
+	}
+	return m
+}
+
+// TransposeInto sets m = aᵀ and returns m. The receiver must not alias a.
+func (m *Matrix) TransposeInto(a *Matrix) *Matrix {
+	if m.rows != a.cols || m.cols != a.rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			m.a[j*m.cols+i] = a.a[i*a.cols+j]
+		}
+	}
+	return m
+}
+
+// CloneInto copies m into dst, which must have m's shape, and returns dst:
+// Clone without the allocation.
+func (m *Matrix) CloneInto(dst *Matrix) *Matrix {
+	if m.rows != dst.rows || m.cols != dst.cols {
+		panic(ErrShape)
+	}
+	copy(dst.a, m.a)
+	return dst
+}
+
 // Mul returns the matrix product m·n as a new matrix.
 func (m *Matrix) Mul(n *Matrix) *Matrix {
 	out := New(m.rows, n.cols)
@@ -190,28 +248,20 @@ func (m *Matrix) Mul(n *Matrix) *Matrix {
 }
 
 // MulInto computes a·b into the receiver, which must have matching shape and
-// must not alias a or b.
+// must not alias a or b. Large products take a cache-blocked, 4-way-unrolled
+// kernel (see kernels.go); small ones keep the zero-skipping naive kernel.
+// Both paths apply the per-element additions in the same k order, so results
+// are identical regardless of which kernel runs.
 func (m *Matrix) MulInto(a, b *Matrix) {
 	if a.cols != b.rows || m.rows != a.rows || m.cols != b.cols {
 		panic(ErrShape)
 	}
 	mulCount.Add(1)
-	for i := 0; i < a.rows; i++ {
-		dst := m.a[i*m.cols : (i+1)*m.cols]
-		for k := range dst {
-			dst[k] = 0
-		}
-		for k := 0; k < a.cols; k++ {
-			aik := a.a[i*a.cols+k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.a[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				dst[j] += aik * bv
-			}
-		}
+	if a.cols >= blockedMulMin && b.cols >= blockedMulMin {
+		mulIntoBlocked(m, a, b)
+		return
 	}
+	mulIntoNaive(m, a, b)
 }
 
 // Transpose returns mᵀ as a new matrix.
@@ -260,18 +310,69 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return out
 }
 
-// RowSums returns the vector of row sums.
-func (m *Matrix) RowSums() []float64 {
-	out := make([]float64, m.rows)
+// VecMulInto computes the row-vector product x·m into dst and returns dst.
+// dst must not alias x.
+func (m *Matrix) VecMulInto(dst, x []float64) []float64 {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic(ErrShape)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.a[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+	return dst
+}
+
+// MulVecInto computes the column-vector product m·x into dst and returns dst.
+// dst must not alias x.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(ErrShape)
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.a[i*m.cols : (i+1)*m.cols]
 		var s float64
-		for _, v := range row {
-			s += v
+		for j, v := range row {
+			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
+}
+
+// RowSums returns the vector of row sums.
+func (m *Matrix) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	return m.RowSumsInto(out)
+}
+
+// RowSumsInto writes the vector of row sums into dst and returns dst.
+func (m *Matrix) RowSumsInto(dst []float64) []float64 {
+	if len(dst) != m.rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.RowSum(i)
+	}
+	return dst
+}
+
+// RowSum returns the sum of row i without allocating.
+func (m *Matrix) RowSum(i int) float64 {
+	row := m.a[i*m.cols : (i+1)*m.cols]
+	var s float64
+	for _, v := range row {
+		s += v
+	}
+	return s
 }
 
 // MaxAbs returns the largest absolute entry of m (zero for empty matrices).

@@ -6,22 +6,55 @@ import (
 )
 
 // LU holds the LU factorization with partial pivoting of a square matrix:
-// P·A = L·U, stored compactly in lu with the pivot sequence in piv.
+// P·A = L·U, stored compactly in lu with the pivot sequence in piv. The
+// scratch buffers make the *Into solvers allocation-free, so one LU reused
+// via FactorizeInto amortizes to zero allocations per factorization.
 type LU struct {
-	lu   *Matrix
-	piv  []int
-	sign int
+	lu      *Matrix
+	piv     []int
+	sign    int
+	scratch []float64 // permutation staging for SolveVecInto
+	col     []float64 // column staging for SolveMatInto / InverseInto
+}
+
+// NewLU returns an n×n factorization shell with all buffers preallocated,
+// ready for FactorizeInto.
+func NewLU(n int) *LU {
+	return &LU{
+		lu:      New(n, n),
+		piv:     make([]int, n),
+		sign:    1,
+		scratch: make([]float64, n),
+		col:     make([]float64, n),
+	}
 }
 
 // Factorize computes the LU factorization with partial pivoting of the square
 // matrix a. It returns ErrSingular when a pivot underflows working precision.
 func Factorize(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := FactorizeInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeInto factorizes a into f, reusing f's storage and pivot buffers
+// when their size matches (and growing them otherwise). a is not modified.
+// On ErrSingular the contents of f are unspecified but f remains reusable.
+func FactorizeInto(f *LU, a *Matrix) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrShape, a.rows, a.cols)
+		return fmt.Errorf("%w: LU of %dx%d matrix", ErrShape, a.rows, a.cols)
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || f.lu.rows != n {
+		f.lu = New(n, n)
+		f.piv = make([]int, n)
+		f.scratch = make([]float64, n)
+		f.col = make([]float64, n)
+	}
+	copy(f.lu.a, a.a)
+	lu, piv := f.lu, f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -35,7 +68,7 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			ri, rk := lu.a[p*n:(p+1)*n], lu.a[k*n:(k+1)*n]
@@ -47,69 +80,121 @@ func Factorize(a *Matrix) (*LU, error) {
 		}
 		pivVal := lu.a[k*n+k]
 		for i := k + 1; i < n; i++ {
-			f := lu.a[i*n+k] / pivVal
-			lu.a[i*n+k] = f
-			if f == 0 {
+			fac := lu.a[i*n+k] / pivVal
+			lu.a[i*n+k] = fac
+			if fac == 0 {
 				continue
 			}
 			ri, rk := lu.a[i*n:(i+1)*n], lu.a[k*n:(k+1)*n]
 			for j := k + 1; j < n; j++ {
-				ri[j] -= f * rk[j]
+				ri[j] -= fac * rk[j]
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // SolveVec solves A·x = b for x, overwriting nothing; b is copied.
 func (f *LU) SolveVec(b []float64) []float64 {
+	x := make([]float64, f.lu.rows)
+	return f.SolveVecInto(x, b)
+}
+
+// SolveVecInto solves A·x = b into dst and returns dst. dst may alias b.
+func (f *LU) SolveVecInto(dst, b []float64) []float64 {
 	n := f.lu.rows
-	if len(b) != n {
+	if len(b) != n || len(dst) != n {
 		panic(ErrShape)
 	}
-	x := make([]float64, n)
+	// Stage the permuted right-hand side through scratch so dst may alias b.
+	s := f.ensureScratch()
 	for i, p := range f.piv {
-		x[i] = b[p]
+		s[i] = b[p]
 	}
+	copy(dst, s)
 	// Forward substitution with unit lower-triangular L.
 	for i := 1; i < n; i++ {
 		row := f.lu.a[i*n : i*n+i]
 		var s float64
 		for j, v := range row {
-			s += v * x[j]
+			s += v * dst[j]
 		}
-		x[i] -= s
+		dst[i] -= s
 	}
 	// Back substitution with U.
 	for i := n - 1; i >= 0; i-- {
 		row := f.lu.a[i*n : (i+1)*n]
-		s := x[i]
+		s := dst[i]
 		for j := i + 1; j < n; j++ {
-			s -= row[j] * x[j]
+			s -= row[j] * dst[j]
 		}
-		x[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return x
+	return dst
 }
 
 // SolveMat solves A·X = B column by column and returns X.
 func (f *LU) SolveMat(b *Matrix) *Matrix {
+	x := New(f.lu.rows, b.cols)
+	f.SolveMatInto(x, b)
+	return x
+}
+
+// SolveMatInto solves A·X = B column by column into dst and returns dst.
+// dst must not alias b.
+func (f *LU) SolveMatInto(dst, b *Matrix) *Matrix {
 	n := f.lu.rows
-	if b.rows != n {
+	if b.rows != n || dst.rows != n || dst.cols != b.cols {
 		panic(ErrShape)
 	}
-	x := New(n, b.cols)
-	col := make([]float64, n)
+	col := f.ensureCol()
 	for j := 0; j < b.cols; j++ {
 		for i := 0; i < n; i++ {
 			col[i] = b.a[i*b.cols+j]
 		}
-		sol := f.SolveVec(col)
+		f.SolveVecInto(col, col)
 		for i := 0; i < n; i++ {
-			x.a[i*x.cols+j] = sol[i]
+			dst.a[i*dst.cols+j] = col[i]
 		}
 	}
-	return x
+	return dst
+}
+
+// InverseInto writes A⁻¹ into dst, where f is the factorization of A, without
+// allocating (beyond one-time growth of f's scratch buffers). dst must be
+// n×n.
+func (f *LU) InverseInto(dst *Matrix) *Matrix {
+	n := f.lu.rows
+	if dst.rows != n || dst.cols != n {
+		panic(ErrShape)
+	}
+	col := f.ensureCol()
+	for j := 0; j < n; j++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+		f.SolveVecInto(col, col)
+		for i := 0; i < n; i++ {
+			dst.a[i*n+j] = col[i]
+		}
+	}
+	return dst
+}
+
+func (f *LU) ensureScratch() []float64 {
+	if len(f.scratch) != f.lu.rows {
+		f.scratch = make([]float64, f.lu.rows)
+	}
+	return f.scratch
+}
+
+func (f *LU) ensureCol() []float64 {
+	if len(f.col) != f.lu.rows {
+		f.col = make([]float64, f.lu.rows)
+	}
+	return f.col
 }
 
 // Det returns the determinant of the factorized matrix.
@@ -142,7 +227,9 @@ func Inverse(a *Matrix) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.SolveMat(Identity(a.rows)), nil
+	out := New(a.rows, a.rows)
+	f.InverseInto(out)
+	return out, nil
 }
 
 // SpectralRadius estimates the spectral radius of the entrywise-nonnegative

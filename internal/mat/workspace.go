@@ -1,0 +1,136 @@
+package mat
+
+// Workspace owns reusable scratch matrices, vectors, and LU factorizations,
+// pooled by shape. Solver hot loops acquire buffers from a Workspace instead
+// of allocating, run their iterations allocation-free, and release the
+// buffers when a differently-shaped stage can reuse the memory.
+//
+// Usage rules:
+//
+//   - A Workspace is NOT safe for concurrent use. Each goroutine (each QBD
+//     solve in a parallel sweep) must own its Workspace.
+//   - Matrix and Vector return zeroed buffers; LU returns a factorization
+//     shell ready for FactorizeInto.
+//   - Release hands a buffer back for reuse. Releasing a buffer twice, or
+//     using it after release, corrupts later acquisitions — release only what
+//     you own, exactly once.
+//   - Buffers that outlive the workspace scope (values returned to callers)
+//     must simply not be released; the workspace never takes a buffer back on
+//     its own.
+//   - A nil *Workspace is valid everywhere and degrades to plain allocation,
+//     so APIs can thread an optional workspace without branching.
+type Workspace struct {
+	mats map[int64][]*Matrix
+	vecs map[int][][]float64
+	lus  map[int][]*LU
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		mats: make(map[int64][]*Matrix),
+		vecs: make(map[int][][]float64),
+		lus:  make(map[int][]*LU),
+	}
+}
+
+func matKey(rows, cols int) int64 { return int64(rows)<<32 | int64(uint32(cols)) }
+
+// Matrix returns a zeroed rows×cols matrix, reusing a released buffer of the
+// same shape when one is available.
+func (w *Workspace) Matrix(rows, cols int) *Matrix {
+	if w == nil {
+		return New(rows, cols)
+	}
+	key := matKey(rows, cols)
+	if pool := w.mats[key]; len(pool) > 0 {
+		m := pool[len(pool)-1]
+		w.mats[key] = pool[:len(pool)-1]
+		m.Zero()
+		return m
+	}
+	return New(rows, cols)
+}
+
+// Identity returns an n×n identity matrix drawn from the workspace.
+func (w *Workspace) Identity(n int) *Matrix {
+	m := w.Matrix(n, n)
+	for i := 0; i < n; i++ {
+		m.a[i*n+i] = 1
+	}
+	return m
+}
+
+// Release returns matrices to the workspace for reuse. Nil entries are
+// ignored; releasing into a nil workspace is a no-op.
+func (w *Workspace) Release(ms ...*Matrix) {
+	if w == nil {
+		return
+	}
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		key := matKey(m.rows, m.cols)
+		w.mats[key] = append(w.mats[key], m)
+	}
+}
+
+// Vector returns a zeroed length-n vector, reusing a released one when
+// available.
+func (w *Workspace) Vector(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	if pool := w.vecs[n]; len(pool) > 0 {
+		v := pool[len(pool)-1]
+		w.vecs[n] = pool[:len(pool)-1]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	return make([]float64, n)
+}
+
+// ReleaseVector returns vectors to the workspace for reuse.
+func (w *Workspace) ReleaseVector(vs ...[]float64) {
+	if w == nil {
+		return
+	}
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		w.vecs[len(v)] = append(w.vecs[len(v)], v)
+	}
+}
+
+// LU returns an n×n factorization shell (storage and pivot buffers
+// preallocated) ready for FactorizeInto, reusing a released one when
+// available.
+func (w *Workspace) LU(n int) *LU {
+	if w == nil {
+		return NewLU(n)
+	}
+	if pool := w.lus[n]; len(pool) > 0 {
+		f := pool[len(pool)-1]
+		w.lus[n] = pool[:len(pool)-1]
+		return f
+	}
+	return NewLU(n)
+}
+
+// ReleaseLU returns a factorization shell to the workspace for reuse.
+func (w *Workspace) ReleaseLU(fs ...*LU) {
+	if w == nil {
+		return
+	}
+	for _, f := range fs {
+		if f == nil || f.lu == nil {
+			continue
+		}
+		n := f.lu.rows
+		w.lus[n] = append(w.lus[n], f)
+	}
+}

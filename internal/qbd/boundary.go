@@ -85,25 +85,48 @@ type Solution struct {
 
 	firstRep int         // index of the first repeating level (B+1)
 	sumR     *mat.Matrix // (I−R)⁻¹, cached
+
+	// Geometric-tail moment vectors, computed once at Solve time: every
+	// metric assembled from the tail (core.maskedMass probes them per
+	// masked weight) reads the cached copies instead of redoing the
+	// matrix-power algebra.
+	tailSum []float64 // Σ_k RepPi·R^k
+	tailW   []float64 // Σ_k k·RepPi·R^k
+	tailW2  []float64 // Σ_k k²·RepPi·R^k
 }
 
 // Solve computes the stationary distribution of the QBD with the given
 // boundary by linear level reduction — block LU elimination on the block-
 // tridiagonal balance equations, O(Σ n_j³) instead of a dense O((Σ n_j)³)
 // global solve. It returns ErrUnstable for non-positive-recurrent processes.
+//
+// All scratch matrices — the logarithmic-reduction working set, the per-level
+// fold of the backward sweep, and the tail-moment algebra — come from one
+// mat.Workspace owned by the call, so buffers freed by one stage are reused
+// by the next instead of allocated fresh.
 func Solve(b Boundary, p *Process) (*Solution, error) {
 	if err := b.validate(p); err != nil {
 		return nil, err
 	}
-	r, err := p.R()
+	ws := mat.NewWorkspace()
+	r, err := p.rWS(ws)
 	if err != nil {
 		return nil, err
 	}
 	m := p.Order()
-	id := mat.Identity(m)
-	sumR, err := mat.Inverse(id.SubMat(r)) // (I−R)⁻¹
-	if err != nil {
-		return nil, fmt.Errorf("qbd: (I−R) singular: %w", err)
+	sumR := mat.New(m, m) // cached on the Solution; never pooled
+	{
+		idMinusR := ws.Matrix(m, m).ScaleInto(r, -1)
+		for i := 0; i < m; i++ {
+			idMinusR.Add(i, i, 1)
+		}
+		lu := ws.LU(m)
+		if err := mat.FactorizeInto(lu, idMinusR); err != nil {
+			return nil, fmt.Errorf("qbd: (I−R) singular: %w", err)
+		}
+		lu.InverseInto(sumR)
+		ws.Release(idMinusR)
+		ws.ReleaseLU(lu)
 	}
 
 	nb := b.levels()
@@ -116,21 +139,37 @@ func Solve(b Boundary, p *Process) (*Solution, error) {
 	// S_{B+1} = A1 + R·A2 (the censored top level); then
 	// S_j = Local_j + Up_j·(−S_{j+1})⁻¹·Down_{j+1}. Each folded level also
 	// yields the propagation matrix T_{j+1} = Up_j·(−S_{j+1})⁻¹ used by the
-	// forward sweep π_{j+1} = π_j·T_{j+1}.
-	sTop := p.a1.AddMat(r.Mul(p.a2))
+	// forward sweep π_{j+1} = π_j·T_{j+1}. The fold ping-pongs workspace
+	// buffers: each level releases its fold before acquiring the next, so
+	// same-shaped levels reuse the same memory.
+	sTop := ws.Matrix(m, m)
+	sTop.MulInto(r, p.a2)
+	sTop.AddInPlace(p.a1)
 	prop := make([]*mat.Matrix, nb+1) // prop[j]: π_j = π_{j−1}·prop[j], j ≥ 1
 	s := sTop
 	for j := nb; j >= 1; j-- {
-		negInv, err := mat.Inverse(s.Clone().Scale(-1))
-		if err != nil {
+		n := s.Rows()
+		neg := ws.Matrix(n, n).ScaleInto(s, -1)
+		lu := ws.LU(n)
+		if err := mat.FactorizeInto(lu, neg); err != nil {
 			return nil, fmt.Errorf("qbd: level reduction at %d: %w", j, err)
 		}
-		prop[j] = b.Up[j-1].Mul(negInv)
+		negInv := ws.Matrix(n, n)
+		lu.InverseInto(negInv)
+		up := b.Up[j-1]
+		prop[j] = mat.New(up.Rows(), n) // persists into the forward sweep
+		prop[j].MulInto(up, negInv)
 		down := repDown
 		if j < nb {
 			down = b.Down[j]
 		}
-		s = b.Local[j-1].AddMat(prop[j].Mul(down))
+		local := b.Local[j-1]
+		sNext := ws.Matrix(local.Rows(), local.Cols())
+		sNext.MulInto(prop[j], down)
+		sNext.AddInPlace(local)
+		ws.Release(neg, negInv, s)
+		ws.ReleaseLU(lu)
+		s = sNext
 	}
 
 	// π_0 spans the one-dimensional left null space of S_0.
@@ -138,8 +177,10 @@ func Solve(b Boundary, p *Process) (*Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qbd: boundary level 0: %w", err)
 	}
+	ws.Release(s)
 
-	// Forward sweep and global normalization.
+	// Forward sweep and global normalization. π_{j+1} = π_j·T_{j+1} is a
+	// row-vector product, so no transposition is needed.
 	sol := &Solution{R: r, firstRep: nb, sumR: sumR}
 	sol.BoundaryPi = make([][]float64, nb)
 	cur := pi0
@@ -147,7 +188,8 @@ func Solve(b Boundary, p *Process) (*Solution, error) {
 	for j := 0; j < nb; j++ {
 		sol.BoundaryPi[j] = cur
 		total += mat.Sum(cur)
-		cur = prop[j+1].Transpose().MulVec(cur)
+		next := make([]float64, prop[j+1].Cols()) // persists in the Solution
+		cur = prop[j+1].VecMulInto(next, cur)
 	}
 	sol.RepPi = cur
 	total += mat.Dot(cur, sumR.RowSums())
@@ -158,7 +200,39 @@ func Solve(b Boundary, p *Process) (*Solution, error) {
 		sol.BoundaryPi[j] = clampProbs(mat.ScaleVec(sol.BoundaryPi[j], 1/total))
 	}
 	sol.RepPi = clampProbs(mat.ScaleVec(sol.RepPi, 1/total))
+	sol.cacheTailMoments(ws)
 	return sol, nil
+}
+
+// cacheTailMoments precomputes the three geometric-tail moment vectors from
+// R, (I−R)⁻¹, and RepPi, using ws for every matrix intermediate.
+func (s *Solution) cacheTailMoments(ws *mat.Workspace) {
+	m := s.R.Rows()
+	// Σ_k RepPi·R^k = RepPi·(I−R)⁻¹.
+	s.tailSum = s.sumR.VecMulInto(make([]float64, m), s.RepPi)
+
+	// Σ_k k·RepPi·R^k = RepPi·(I−R)⁻²·R.
+	sumR2 := ws.Matrix(m, m)
+	sumR2.MulInto(s.sumR, s.sumR)
+	v := ws.Vector(m)
+	sumR2.VecMulInto(v, s.RepPi)
+	s.tailW = s.R.VecMulInto(make([]float64, m), v)
+
+	// Σ_k k²·RepPi·R^k = RepPi·R·(I+R)·(I−R)⁻³.
+	cube := ws.Matrix(m, m)
+	cube.MulInto(sumR2, s.sumR)
+	ipr := s.R.CloneInto(ws.Matrix(m, m))
+	for i := 0; i < m; i++ {
+		ipr.Add(i, i, 1)
+	}
+	rIpr := ws.Matrix(m, m)
+	rIpr.MulInto(s.R, ipr)
+	factor := ws.Matrix(m, m)
+	factor.MulInto(rIpr, cube)
+	s.tailW2 = factor.VecMulInto(make([]float64, m), s.RepPi)
+
+	ws.Release(sumR2, cube, ipr, rIpr, factor)
+	ws.ReleaseVector(v)
 }
 
 // leftNullVector returns the (nonnegative, sum-1) left null vector of the
@@ -209,7 +283,8 @@ func clampProbs(x []float64) []float64 {
 func (s *Solution) FirstRepLevel() int { return s.firstRep }
 
 // LevelPi returns the stationary vector of an arbitrary level, computing
-// RepPi·R^k on demand for repeating levels.
+// RepPi·R^k on demand for repeating levels. The walk ping-pongs two buffers;
+// π·R is a row-vector product, so no transposition happens.
 func (s *Solution) LevelPi(level int) []float64 {
 	if level < s.firstRep {
 		out := make([]float64, len(s.BoundaryPi[level]))
@@ -218,32 +293,33 @@ func (s *Solution) LevelPi(level int) []float64 {
 	}
 	v := make([]float64, len(s.RepPi))
 	copy(v, s.RepPi)
+	if level == s.firstRep {
+		return v
+	}
+	w := make([]float64, len(v))
 	for k := s.firstRep; k < level; k++ {
-		v = s.R.Transpose().MulVec(v)
+		s.R.VecMulInto(w, v)
+		v, w = w, v
 	}
 	return v
 }
 
 // TailSum returns Σ_{k≥0} RepPi·R^k = RepPi·(I−R)⁻¹, the total probability
 // vector of all repeating levels by phase.
-func (s *Solution) TailSum() []float64 {
-	return s.sumR.Transpose().MulVec(s.RepPi)
-}
+func (s *Solution) TailSum() []float64 { return copyVec(s.tailSum) }
 
 // TailWeightedSum returns Σ_{k≥0} k·RepPi·R^k = RepPi·R·(I−R)⁻², used for
 // first moments over the geometric tail.
-func (s *Solution) TailWeightedSum() []float64 {
-	v := s.sumR.Mul(s.sumR).Transpose().MulVec(s.RepPi)
-	return s.R.Transpose().MulVec(v)
-}
+func (s *Solution) TailWeightedSum() []float64 { return copyVec(s.tailW) }
 
 // TailSquareWeightedSum returns Σ_{k≥0} k²·RepPi·R^k = RepPi·R(I+R)·(I−R)⁻³,
 // used for second moments over the geometric tail.
-func (s *Solution) TailSquareWeightedSum() []float64 {
-	m := s.R.Rows()
-	cube := s.sumR.Mul(s.sumR).Mul(s.sumR)
-	factor := s.R.Mul(mat.Identity(m).AddMat(s.R)).Mul(cube)
-	return factor.Transpose().MulVec(s.RepPi)
+func (s *Solution) TailSquareWeightedSum() []float64 { return copyVec(s.tailW2) }
+
+func copyVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
 }
 
 // TotalMass returns the total probability mass (1 up to numerical error).
@@ -252,7 +328,7 @@ func (s *Solution) TotalMass() float64 {
 	for _, pi := range s.BoundaryPi {
 		total += mat.Sum(pi)
 	}
-	return total + mat.Sum(s.TailSum())
+	return total + mat.Sum(s.tailSum)
 }
 
 // MeanLevel returns E[level] — for a queueing chain whose level counts
@@ -262,8 +338,8 @@ func (s *Solution) MeanLevel() float64 {
 	for j, pi := range s.BoundaryPi {
 		mean += float64(j) * mat.Sum(pi)
 	}
-	mean += float64(s.firstRep) * mat.Sum(s.TailSum())
-	mean += mat.Sum(s.TailWeightedSum())
+	mean += float64(s.firstRep) * mat.Sum(s.tailSum)
+	mean += mat.Sum(s.tailW)
 	return mean
 }
 

@@ -61,11 +61,15 @@ func (p *Process) MeanFirstPassageLevels(k int) ([]float64, error) {
 	}
 	total := make([]float64, p.order)
 	copy(total, tau)
-	// dist rows track the phase distribution after each completed descent.
+	// dist rows track the phase distribution after each completed descent;
+	// the walk ping-pongs two preallocated matrices and one add buffer.
 	dist := mat.Identity(p.order)
+	next := mat.New(p.order, p.order)
+	add := make([]float64, p.order)
 	for step := 1; step < k; step++ {
-		dist = dist.Mul(g)
-		add := dist.MulVec(tau)
+		next.MulInto(dist, g)
+		dist, next = next, dist
+		dist.MulVecInto(add, tau)
 		for i := range total {
 			total[i] += add[i]
 		}

@@ -9,12 +9,17 @@
 // including the negative diagonal. The stationary distribution of the
 // repeating levels is matrix-geometric, π_{j+1} = π_j·R, where R is the
 // minimal nonnegative solution of A0 + R·A1 + R²·A2 = 0.
+//
+// The solver hot loops run on preallocated working sets (mat.Workspace and
+// the *Into kernels): the logarithmic-reduction iteration performs zero heap
+// allocations in steady state, pinned by regression tests.
 package qbd
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"bgperf/internal/markov"
 	"bgperf/internal/mat"
@@ -34,19 +39,31 @@ var ErrNoConvergence = errors.New("qbd: iteration did not converge")
 type Process struct {
 	a0, a1, a2 *mat.Matrix
 	order      int
+
+	// Drift is needed by Stable, the R error path, and first-passage
+	// queries; it is computed at most once per process.
+	driftOnce          sync.Once
+	driftUp, driftDown float64
+	driftErr           error
 }
 
 // New validates the repeating blocks and returns the process. A0 and A2 must
 // be entrywise nonnegative, A1 must have nonnegative off-diagonal entries,
-// and A = A0+A1+A2 must be an irreducible generator.
+// and A = A0+A1+A2 must be an irreducible generator. Blocks are validated in
+// the fixed order A0, A1, A2, so the reported error is deterministic when
+// several blocks are malformed.
 func New(a0, a1, a2 *mat.Matrix) (*Process, error) {
 	m := a0.Rows()
-	for name, b := range map[string]*mat.Matrix{"A0": a0, "A1": a1, "A2": a2} {
-		if b.Rows() != m || b.Cols() != m {
-			return nil, fmt.Errorf("%w: %s is %dx%d, want %dx%d", ErrInvalid, name, b.Rows(), b.Cols(), m, m)
+	blocks := []struct {
+		name string
+		m    *mat.Matrix
+	}{{"A0", a0}, {"A1", a1}, {"A2", a2}}
+	for _, b := range blocks {
+		if b.m.Rows() != m || b.m.Cols() != m {
+			return nil, fmt.Errorf("%w: %s is %dx%d, want %dx%d", ErrInvalid, b.name, b.m.Rows(), b.m.Cols(), m, m)
 		}
-		if !b.IsFinite() {
-			return nil, fmt.Errorf("%w: %s has non-finite entries", ErrInvalid, name)
+		if !b.m.IsFinite() {
+			return nil, fmt.Errorf("%w: %s has non-finite entries", ErrInvalid, b.name)
 		}
 	}
 	for i := 0; i < m; i++ {
@@ -80,8 +97,15 @@ func (p *Process) A2() *mat.Matrix { return p.a2.Clone() }
 
 // Drift returns the mean upward and downward drift rates (φA0e, φA2e) under
 // the stationary phase distribution φ of the generator A = A0+A1+A2. The
-// process is positive recurrent iff up < down.
+// process is positive recurrent iff up < down. The result is computed once
+// and cached, so Stable, R, and the passage-time queries share a single
+// StationaryCTMC solve.
 func (p *Process) Drift() (up, down float64, err error) {
+	p.driftOnce.Do(p.computeDrift)
+	return p.driftUp, p.driftDown, p.driftErr
+}
+
+func (p *Process) computeDrift() {
 	a := p.a0.AddMat(p.a1).AddInPlace(p.a2)
 	var phi []float64
 	if p.order == 1 {
@@ -91,14 +115,15 @@ func (p *Process) Drift() (up, down float64, err error) {
 		// paper's chain, where BG-serving phases are entered only from the
 		// boundary). The LU-based solve handles that — transient phases get
 		// zero mass — whereas GTH would reject the chain outright.
+		var err error
 		phi, err = markov.StationaryCTMC(a)
 		if err != nil {
-			return 0, 0, fmt.Errorf("qbd: drift: %w", err)
+			p.driftErr = fmt.Errorf("qbd: drift: %w", err)
+			return
 		}
 	}
-	up = mat.Dot(phi, p.a0.RowSums())
-	down = mat.Dot(phi, p.a2.RowSums())
-	return up, down, nil
+	p.driftUp = mat.Dot(phi, p.a0.RowSums())
+	p.driftDown = mat.Dot(phi, p.a2.RowSums())
 }
 
 // Stable reports whether the QBD is positive recurrent (mean drift strictly
@@ -115,7 +140,11 @@ func (p *Process) Stable() (bool, error) {
 // the process, started in phase i of level n+1, first enters level n in phase
 // j — by logarithmic reduction on the uniformized chain. For a recurrent QBD,
 // G is stochastic.
-func (p *Process) G() (*mat.Matrix, error) {
+func (p *Process) G() (*mat.Matrix, error) { return p.gWS(nil) }
+
+// gWS is G with an optional workspace supplying the reduction's scratch
+// buffers (nil is valid and allocates).
+func (p *Process) gWS(ws *mat.Workspace) (*mat.Matrix, error) {
 	// Uniformize: the diagonal lives in A1.
 	theta := 0.0
 	for i := 0; i < p.order; i++ {
@@ -127,57 +156,144 @@ func (p *Process) G() (*mat.Matrix, error) {
 		return nil, fmt.Errorf("%w: zero generator", ErrInvalid)
 	}
 	theta *= 1 + 1e-12
-	b0 := p.a0.Clone().Scale(1 / theta)
-	b1 := p.a1.Clone().Scale(1 / theta)
-	for i := 0; i < p.order; i++ {
+	m := p.order
+	b0 := ws.Matrix(m, m).ScaleInto(p.a0, 1/theta)
+	b1 := ws.Matrix(m, m).ScaleInto(p.a1, 1/theta)
+	for i := 0; i < m; i++ {
 		b1.Add(i, i, 1)
 	}
-	b2 := p.a2.Clone().Scale(1 / theta)
-	g, _, err := logReduction(b0, b1, b2)
+	b2 := ws.Matrix(m, m).ScaleInto(p.a2, 1/theta)
+	g, _, err := logReductionWS(b0, b1, b2, ws)
+	ws.Release(b0, b1, b2)
 	return g, err
+}
+
+// logRedState is the preallocated working set of one logarithmic-reduction
+// run: the ~8 square temporaries of the iteration, a reusable LU, and a row-
+// sum buffer. After newLogRedState, the steady-state step performs zero heap
+// allocations (pinned by TestLogReductionStepZeroAlloc).
+type logRedState struct {
+	ws *mat.Workspace
+
+	id      *mat.Matrix // I, fixed
+	h, l    *mat.Matrix // level-up / level-down kernels
+	g, t    *mat.Matrix // accumulated G and the product of h's
+	u       *mat.Matrix // h·l + l·h
+	hh, ll  *mat.Matrix // h², l²
+	tl      *mat.Matrix // t·l, shared by the G update and the stop criterion
+	inv     *mat.Matrix // (I − u)⁻¹
+	scratch *mat.Matrix // ping-pong partner / subtraction target
+	lu      *mat.LU
+	rowSums []float64
+}
+
+// newLogRedState acquires the working set for order-m blocks from ws (nil ws
+// allocates directly).
+func newLogRedState(m int, ws *mat.Workspace) *logRedState {
+	return &logRedState{
+		ws:      ws,
+		id:      ws.Identity(m),
+		h:       ws.Matrix(m, m),
+		l:       ws.Matrix(m, m),
+		g:       ws.Matrix(m, m),
+		t:       ws.Matrix(m, m),
+		u:       ws.Matrix(m, m),
+		hh:      ws.Matrix(m, m),
+		ll:      ws.Matrix(m, m),
+		tl:      ws.Matrix(m, m),
+		inv:     ws.Matrix(m, m),
+		scratch: ws.Matrix(m, m),
+		lu:      ws.LU(m),
+		rowSums: ws.Vector(m),
+	}
+}
+
+// release hands every buffer except g (the caller's result) back to the
+// workspace.
+func (s *logRedState) release() {
+	s.ws.Release(s.id, s.h, s.l, s.t, s.u, s.hh, s.ll, s.tl, s.inv, s.scratch)
+	s.ws.ReleaseLU(s.lu)
+	s.ws.ReleaseVector(s.rowSums)
+}
+
+// start initializes the kernels from the DTMC blocks (b0 up, b1 local, b2
+// down): h = (I−b1)⁻¹·b0, l = (I−b1)⁻¹·b2, g = l, t = h.
+func (s *logRedState) start(b0, b1, b2 *mat.Matrix) error {
+	s.scratch.SubInto(s.id, b1)
+	if err := mat.FactorizeInto(s.lu, s.scratch); err != nil {
+		return err
+	}
+	s.lu.InverseInto(s.inv)
+	s.h.MulInto(s.inv, b0)
+	s.l.MulInto(s.inv, b2)
+	s.l.CloneInto(s.g)
+	s.h.CloneInto(s.t)
+	return nil
+}
+
+// step runs one reduction iteration in place, with zero heap allocations:
+// every temporary is a preallocated buffer, and t advances by ping-ponging
+// with scratch. done reports convergence (G's defect below 1e-13, or a
+// negligible update for transient chains).
+func (s *logRedState) step() (done bool, err error) {
+	s.u.MulInto(s.h, s.l)
+	s.scratch.MulInto(s.l, s.h)
+	s.u.AddInPlace(s.scratch)
+	s.hh.MulInto(s.h, s.h)
+	s.ll.MulInto(s.l, s.l)
+	s.scratch.SubInto(s.id, s.u)
+	if err := mat.FactorizeInto(s.lu, s.scratch); err != nil {
+		return false, err
+	}
+	s.lu.InverseInto(s.inv)
+	s.h.MulInto(s.inv, s.hh)
+	s.l.MulInto(s.inv, s.ll)
+	s.tl.MulInto(s.t, s.l) // shared by the G update and the step criterion below
+	s.g.AddInPlace(s.tl)
+	// For a recurrent QBD the row sums of G approach one; the defect
+	// measures remaining mass. For transient chains this never reaches
+	// zero, so also stop when the update becomes negligible.
+	defect := 0.0
+	for _, rs := range s.g.RowSumsInto(s.rowSums) {
+		if d := math.Abs(1 - rs); d > defect {
+			defect = d
+		}
+	}
+	if defect < 1e-13 || s.tl.MaxAbs() < 1e-15 {
+		return true, nil
+	}
+	s.scratch.MulInto(s.t, s.h)
+	s.t, s.scratch = s.scratch, s.t
+	return false, nil
 }
 
 // logReduction runs the Latouche–Ramaswami logarithmic-reduction algorithm on
 // the DTMC blocks (b0 up, b1 local, b2 down). It also reports the number of
 // iterations taken, which the op-count regression tests use to pin the exact
-// multiplication budget of this innermost solver loop.
+// multiplication budget of this innermost solver loop (8·iters + 1 matrix
+// products).
 func logReduction(b0, b1, b2 *mat.Matrix) (*mat.Matrix, int, error) {
-	m := b0.Rows()
-	id := mat.Identity(m)
-	inv, err := mat.Inverse(id.SubMat(b1))
-	if err != nil {
+	return logReductionWS(b0, b1, b2, nil)
+}
+
+// logReductionWS is logReduction drawing its working set from ws (nil ws
+// allocates). The returned G is not handed back to ws; every other buffer is
+// released for reuse by later solver stages.
+func logReductionWS(b0, b1, b2 *mat.Matrix, ws *mat.Workspace) (*mat.Matrix, int, error) {
+	s := newLogRedState(b0.Rows(), ws)
+	defer s.release()
+	if err := s.start(b0, b1, b2); err != nil {
 		return nil, 0, fmt.Errorf("qbd: logarithmic reduction: %w", err)
 	}
-	h := inv.Mul(b0) // level-up kernel
-	l := inv.Mul(b2) // level-down kernel
-	g := l.Clone()
-	t := h.Clone()
 	const maxIter = 200
 	for iter := 0; iter < maxIter; iter++ {
-		u := h.Mul(l).AddInPlace(l.Mul(h))
-		hh := h.Mul(h)
-		ll := l.Mul(l)
-		inv, err = mat.Inverse(id.SubMat(u))
+		done, err := s.step()
 		if err != nil {
 			return nil, iter, fmt.Errorf("qbd: logarithmic reduction step %d: %w", iter, err)
 		}
-		h = inv.Mul(hh)
-		l = inv.Mul(ll)
-		tl := t.Mul(l) // shared by the G update and the step criterion below
-		g.AddInPlace(tl)
-		// For a recurrent QBD the row sums of G approach one; the defect
-		// measures remaining mass. For transient chains this never reaches
-		// zero, so also stop when the update becomes negligible.
-		defect := 0.0
-		for _, s := range g.RowSums() {
-			if d := math.Abs(1 - s); d > defect {
-				defect = d
-			}
+		if done {
+			return s.g, iter + 1, nil
 		}
-		if defect < 1e-13 || tl.MaxAbs() < 1e-15 {
-			return g, iter + 1, nil
-		}
-		t = t.Mul(h)
 	}
 	return nil, maxIter, fmt.Errorf("%w: logarithmic reduction after %d iterations", ErrNoConvergence, maxIter)
 }
@@ -185,7 +301,11 @@ func logReduction(b0, b1, b2 *mat.Matrix) (*mat.Matrix, int, error) {
 // R computes the rate matrix R, the minimal nonnegative solution of
 // A0 + R·A1 + R²·A2 = 0, via R = A0·(−(A1 + A0·G))⁻¹. The spectral radius of
 // R is < 1 exactly when the process is stable.
-func (p *Process) R() (*mat.Matrix, error) {
+func (p *Process) R() (*mat.Matrix, error) { return p.rWS(nil) }
+
+// rWS is R with an optional workspace for every intermediate (nil is valid
+// and allocates).
+func (p *Process) rWS(ws *mat.Workspace) (*mat.Matrix, error) {
 	stable, err := p.Stable()
 	if err != nil {
 		return nil, err
@@ -194,16 +314,27 @@ func (p *Process) R() (*mat.Matrix, error) {
 		up, down, _ := p.Drift()
 		return nil, fmt.Errorf("%w: upward drift %.6g >= downward drift %.6g", ErrUnstable, up, down)
 	}
-	g, err := p.G()
+	g, err := p.gWS(ws)
 	if err != nil {
 		return nil, err
 	}
-	u := p.a1.AddMat(p.a0.Mul(g)).Scale(-1)
-	inv, err := mat.Inverse(u)
-	if err != nil {
+	m := p.order
+	u := ws.Matrix(m, m)
+	u.MulInto(p.a0, g)
+	u.AddInPlace(p.a1)
+	u.Scale(-1)
+	lu := ws.LU(m)
+	if err := mat.FactorizeInto(lu, u); err != nil {
+		ws.Release(g, u)
+		ws.ReleaseLU(lu)
 		return nil, fmt.Errorf("qbd: R: %w", err)
 	}
-	r := p.a0.Mul(inv)
+	inv := ws.Matrix(m, m)
+	lu.InverseInto(inv)
+	r := mat.New(m, m) // escapes into the Solution; never pooled
+	r.MulInto(p.a0, inv)
+	ws.Release(g, u, inv)
+	ws.ReleaseLU(lu)
 	// Clamp round-off negatives: R is nonnegative in exact arithmetic.
 	for i := 0; i < r.Rows(); i++ {
 		for j := 0; j < r.Cols(); j++ {
@@ -221,6 +352,8 @@ func (p *Process) R() (*mat.Matrix, error) {
 // RByIteration computes R by the classical functional iteration
 // R ← −(A0 + R²A2)·A1⁻¹, mainly as an independent cross-check of the
 // logarithmic-reduction path. tol is the max-abs change stopping criterion.
+// The loop runs on four preallocated buffers (R, R², the assembled update,
+// and a difference scratch) with zero allocations per iteration.
 func (p *Process) RByIteration(tol float64, maxIter int) (*mat.Matrix, error) {
 	if tol <= 0 {
 		tol = 1e-12
@@ -234,11 +367,19 @@ func (p *Process) RByIteration(tol float64, maxIter int) (*mat.Matrix, error) {
 	}
 	m := p.order
 	r := mat.New(m, m)
+	rr := mat.New(m, m)
+	next := mat.New(m, m)
+	diff := mat.New(m, m)
 	for iter := 0; iter < maxIter; iter++ {
-		next := p.a0.AddMat(r.Mul(r).Mul(p.a2)).Mul(invA1).Scale(-1)
-		diff := next.SubMat(r).MaxAbs()
-		r = next
-		if diff < tol {
+		rr.MulInto(r, r)
+		diff.MulInto(rr, p.a2)
+		diff.AddInPlace(p.a0)
+		next.MulInto(diff, invA1)
+		next.Scale(-1)
+		diff.SubInto(next, r)
+		d := diff.MaxAbs()
+		r, next = next, r
+		if d < tol {
 			return r, nil
 		}
 	}

@@ -1,0 +1,8 @@
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-budget tests (testing.AllocsPerRun gates) skip under
+// the race detector, whose instrumentation perturbs allocation counts; CI
+// runs them in a separate non-instrumented step.
+package raceflag
+
+// Enabled is true when the build has -race; see raceflag_on.go.
+var Enabled = false

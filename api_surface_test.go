@@ -1,0 +1,143 @@
+package bgperf_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current source")
+
+// TestAPISurface snapshots the package's exported identifiers into a golden
+// file, so any change to the public API — adding, removing, or renaming an
+// exported function, type, method, constant, or variable — shows up as an
+// explicit diff in review. Regenerate with:
+//
+//	go test -run TestAPISurface -update .
+func TestAPISurface(t *testing.T) {
+	got := strings.Join(exportedSurface(t, "."), "\n") + "\n"
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestAPISurface -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface changed; if intentional, run `go test -run TestAPISurface -update .` and review the diff\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// exportedSurface lists one line per exported top-level identifier of the
+// package in dir: "func Name", "type Name", "method (Recv) Name", "const
+// Name", or "var Name", sorted.
+func exportedSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["bgperf"]
+	if !ok {
+		t.Fatalf("package bgperf not found in %s (got %v)", dir, pkgs)
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					recv := recvTypeName(d.Recv)
+					if !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("method (%s) %s", recv, d.Name.Name))
+					continue
+				}
+				lines = append(lines, "func "+d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								lines = append(lines, kind+" "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// recvTypeName renders a method receiver type ("T" or "*T").
+func recvTypeName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return ""
+	}
+	switch t := fl.List[0].Type.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return ""
+}
+
+// surfaceDiff reports lines only in want (removed) and only in got (added).
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -128,36 +128,90 @@ const (
 	ServiceRatePerMs  = workload.ServiceRatePerMs
 )
 
-// NewModel validates cfg and prepares the analytic chain.
-func NewModel(cfg Config) (*Model, error) { return core.NewModel(cfg) }
+// ParseIdleWaitPolicy maps "per-job" / "per-period" back to the policy
+// constants (the inverse of IdleWaitPolicy.String).
+func ParseIdleWaitPolicy(s string) (IdleWaitPolicy, error) { return core.ParseIdleWaitPolicy(s) }
 
-// Solve builds and solves the model in one call.
-func Solve(cfg Config) (*Solution, error) {
+// ParseIdleDist maps "exponential" / "deterministic" back to the simulator
+// idle-wait distributions (the inverse of IdleDist.String).
+func ParseIdleDist(s string) (IdleDist, error) { return sim.ParseIdleDist(s) }
+
+// ParseKind maps "empty" / "fg-serving" / "bg-serving" / "idle-wait" back to
+// the chain state kinds (the inverse of Kind.String).
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// NewModel validates cfg and prepares the analytic chain. It accepts the
+// package options for uniformity with Solve; model construction itself is
+// instrumented through Solve's observer.
+func NewModel(cfg Config, opts ...Option) (*Model, error) {
+	o := apply(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
+	if err := ctxErr(o.ctx); err != nil {
+		return nil, err
+	}
+	return core.NewModel(cfg)
+}
+
+// Solve builds and solves the model in one call. With WithObserver it
+// reports stage timings, the logarithmic-reduction convergence trace, sp(R),
+// and workspace pool statistics; without, it runs the zero-overhead fast
+// path.
+func Solve(cfg Config, opts ...Option) (*Solution, error) {
+	o := apply(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
+	if err := ctxErr(o.ctx); err != nil {
+		return nil, err
+	}
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Solve()
+	return m.SolveObserved(o.observer)
 }
 
-// Simulate runs the independent event simulator.
-func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
-
-// SimulateReplications runs reps independent replications of cfg (seeds
-// cfg.Seed .. cfg.Seed+reps-1) on at most workers goroutines (0: all cores)
-// and aggregates mean metrics with 95% confidence half-widths. The result is
-// identical for every worker count.
-func SimulateReplications(cfg SimConfig, reps, workers int) (*SimReplications, error) {
-	return sim.RunReplications(cfg, reps, workers)
+// Simulate runs the independent event simulator. WithContext cancels the
+// event loop promptly; WithObserver collects the run's event counters.
+func Simulate(cfg SimConfig, opts ...Option) (*SimResult, error) {
+	o := apply(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
+	return sim.RunOpts(o.ctx, cfg, o.observer)
 }
 
-// SolveMulti builds and solves the two-priority background model.
-func SolveMulti(cfg MultiConfig) (*MultiSolution, error) {
+// SimulateReplications runs WithReplications(n) independent replications of
+// cfg (seeds cfg.Seed .. cfg.Seed+n-1; default 1) on a pool bounded by
+// WithWorkers (default all cores) and aggregates mean metrics with 95%
+// confidence half-widths. The aggregate is identical for every worker count.
+// WithContext cancels the sweep; WithObserver tracks replication progress
+// and per-run counters.
+func SimulateReplications(cfg SimConfig, opts ...Option) (*SimReplications, error) {
+	o := apply(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
+	return sim.RunReplicationsOpts(o.ctx, cfg, o.reps, o.workers, o.observer)
+}
+
+// SolveMulti builds and solves the two-priority background model, with the
+// same option semantics as Solve.
+func SolveMulti(cfg MultiConfig, opts ...Option) (*MultiSolution, error) {
+	o := apply(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
+	if err := ctxErr(o.ctx); err != nil {
+		return nil, err
+	}
 	m, err := multiclass.NewModel(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Solve()
+	return m.SolveObserved(o.observer)
 }
 
 // SimulateMulti runs the two-priority event simulator.
@@ -200,8 +254,27 @@ func MMPPGeneral(rates []float64, modulator [][]float64) (*MAP, error) {
 	return arrival.MMPP(rates, q)
 }
 
-// FitMMPP2 fits an MMPP(2) to target descriptors by moment matching.
-func FitMMPP2(spec FitSpec) (*MAP, error) { return arrival.FitMMPP2(spec) }
+// FitMMPP2 fits an MMPP(2) to target descriptors by moment matching. With
+// WithObserver it reports a FitDiag comparing the achieved rate, SCV, lag-1
+// ACF, and ACF decay against the targets.
+func FitMMPP2(spec FitSpec, opts ...Option) (*MAP, error) {
+	o := apply(opts)
+	if o.err != nil {
+		return nil, o.err
+	}
+	m, err := arrival.FitMMPP2(spec)
+	if err != nil {
+		return nil, err
+	}
+	if o.observer != nil {
+		o.observer.FitDone(FitDiag{
+			TargetRate: spec.Rate, TargetSCV: spec.SCV,
+			TargetACF1: spec.ACF1, TargetDecay: spec.Decay,
+			Rate: m.Rate(), SCV: m.SCV(), ACF1: m.ACF(1), Decay: m.ACFDecay(),
+		})
+	}
+	return m, nil
+}
 
 // PHErlang returns the Erlang-k phase-type distribution (SCV = 1/k).
 func PHErlang(k int, stageRate float64) (*PHDist, error) { return phtype.Erlang(k, stageRate) }

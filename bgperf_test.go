@@ -2,7 +2,6 @@ package bgperf_test
 
 import (
 	"bytes"
-	"fmt"
 	"math"
 	"testing"
 
@@ -121,24 +120,6 @@ func TestGenerateTraceFacade(t *testing.T) {
 	if u := tr.Utilization(); u < 0.05 || u > 0.12 {
 		t.Errorf("utilization = %v, want ~0.08", u)
 	}
-}
-
-// ExampleSolve demonstrates the quickstart flow from the package comment.
-func ExampleSolve() {
-	email, _ := bgperf.EmailWorkload()
-	arr, _ := bgperf.AtUtilization(email, 0.08)
-	sol, _ := bgperf.Solve(bgperf.Config{
-		Arrival:     arr,
-		ServiceRate: bgperf.ServiceRatePerMs,
-		BGProb:      0.3,
-		BGBuffer:    5,
-		IdleRate:    bgperf.ServiceRatePerMs,
-	})
-	fmt.Printf("FG queue length: %.3f\n", sol.QLenFG)
-	fmt.Printf("BG completion:   %.3f\n", sol.CompBG)
-	// Output:
-	// FG queue length: 0.224
-	// BG completion:   0.796
 }
 
 func TestPHServiceFacade(t *testing.T) {

@@ -27,6 +27,7 @@ import (
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
 	"bgperf/internal/multiclass"
+	"bgperf/internal/obs"
 	"bgperf/internal/phtype"
 	"bgperf/internal/sim"
 	"bgperf/internal/trace"
@@ -119,13 +120,9 @@ func (f modelFlags) build() (core.Config, error) {
 			return core.Config{}, err
 		}
 	}
-	policy := core.IdleWaitPerJob
-	switch *f.policy {
-	case "per-job":
-	case "per-period":
-		policy = core.IdleWaitPerPeriod
-	default:
-		return core.Config{}, fmt.Errorf("unknown policy %q", *f.policy)
+	policy, err := core.ParseIdleWaitPolicy(*f.policy)
+	if err != nil {
+		return core.Config{}, err
 	}
 	if *f.idleMult <= 0 {
 		return core.Config{}, fmt.Errorf("idlemult must be positive")
@@ -156,6 +153,24 @@ func (f modelFlags) build() (core.Config, error) {
 		cfg.Service = svc
 	}
 	return cfg, nil
+}
+
+// writeDiag writes the machine-readable diagnostics report to path and the
+// human-readable convergence summary to out.
+func writeDiag(path string, d *obs.Diagnostics, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.FlushJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "diagnostics (JSON report in %s):\n", path)
+	return d.WriteSummary(out)
 }
 
 func printMetrics(out io.Writer, m core.Metrics) {
@@ -190,6 +205,7 @@ func cmdSolve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	mf := addModelFlags(fs)
 	asJSON := fs.Bool("json", false, "emit the metrics as JSON")
+	diagPath := fs.String("diag", "", "write a JSON diagnostics report (stage timings, convergence trace, workspace stats) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,14 +217,24 @@ func cmdSolve(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sol, err := model.Solve()
+	var diag *obs.Diagnostics
+	if *diagPath != "" {
+		diag = obs.NewDiagnostics()
+	}
+	sol, err := model.SolveObserved(diag)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(sol.Metrics)
+		if err := enc.Encode(sol.Metrics); err != nil {
+			return err
+		}
+		if diag != nil {
+			return writeDiag(*diagPath, diag, out)
+		}
+		return nil
 	}
 	idleMean := 0.0
 	if cfg.IdleWait != nil {
@@ -220,6 +246,9 @@ func cmdSolve(args []string, out io.Writer) error {
 		*mf.workload, model.FGUtilization(), cfg.BGProb, cfg.BGBuffer, idleMean, cfg.IdlePolicy)
 	printMetrics(out, sol.Metrics)
 	printTails(out, sol)
+	if diag != nil {
+		return writeDiag(*diagPath, diag, out)
+	}
 	return nil
 }
 
@@ -227,12 +256,13 @@ func cmdSim(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	mf := addModelFlags(fs)
 	var (
-		simTime = fs.Float64("time", 1e8, "measured simulation time in ms")
-		seed    = fs.Int64("seed", 1, "random seed")
-		reps    = fs.Int("reps", 1, "independent replications (seeds seed..seed+reps-1), aggregated as mean ± 95% CI")
-		workers = fs.Int("workers", 0, "max goroutines for replications (0 = all cores, 1 = serial); results are identical for every setting")
-		detIdle = fs.Bool("detidle", false, "use a deterministic idle wait instead of exponential")
-		asJSON  = fs.Bool("json", false, "emit the metrics as JSON")
+		simTime  = fs.Float64("time", 1e8, "measured simulation time in ms")
+		seed     = fs.Int64("seed", 1, "random seed")
+		reps     = fs.Int("reps", 1, "independent replications (seeds seed..seed+reps-1), aggregated as mean ± 95% CI")
+		workers  = fs.Int("workers", 0, "max goroutines for replications (0 = all cores, 1 = serial); results are identical for every setting")
+		detIdle  = fs.Bool("detidle", false, "use a deterministic idle wait instead of exponential")
+		asJSON   = fs.Bool("json", false, "emit the metrics as JSON")
+		diagPath = fs.String("diag", "", "write a JSON diagnostics report (event counters, replication progress) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -263,38 +293,54 @@ func cmdSim(args []string, out io.Writer) error {
 	if *detIdle {
 		simCfg.IdleDist = sim.IdleDeterministic
 	}
+	var diag *obs.Diagnostics
+	if *diagPath != "" {
+		diag = obs.NewDiagnostics()
+	}
 	if *reps > 1 {
-		agg, err := sim.RunReplications(simCfg, *reps, *workers)
+		agg, err := sim.RunReplicationsOpts(nil, simCfg, *reps, *workers, diag)
 		if err != nil {
 			return err
 		}
 		if *asJSON {
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
-			return enc.Encode(agg)
+			if err := enc.Encode(agg); err != nil {
+				return err
+			}
+		} else {
+			// The worker count is deliberately not echoed: output must be
+			// byte-identical for every -workers setting.
+			fmt.Fprintf(out, "simulated %d replications × %.4g ms (seeds %d..%d)\n",
+				*reps, simCfg.MeasureTime, *seed, *seed+int64(*reps)-1)
+			printMetrics(out, agg.Mean)
+			fmt.Fprintf(out, "qlen 95%% half-width  %12.6g (fg) %.6g (bg)\n", agg.QLenFGHalf, agg.QLenBGHalf)
+			fmt.Fprintf(out, "resp 95%% half-width  %12.6g ms (fg)\n", agg.RespTimeFGHalf)
 		}
-		// The worker count is deliberately not echoed: output must be
-		// byte-identical for every -workers setting.
-		fmt.Fprintf(out, "simulated %d replications × %.4g ms (seeds %d..%d)\n",
-			*reps, simCfg.MeasureTime, *seed, *seed+int64(*reps)-1)
-		printMetrics(out, agg.Mean)
-		fmt.Fprintf(out, "qlen 95%% half-width  %12.6g (fg) %.6g (bg)\n", agg.QLenFGHalf, agg.QLenBGHalf)
-		fmt.Fprintf(out, "resp 95%% half-width  %12.6g ms (fg)\n", agg.RespTimeFGHalf)
+		if diag != nil {
+			return writeDiag(*diagPath, diag, out)
+		}
 		return nil
 	}
-	res, err := sim.Run(simCfg)
+	res, err := sim.RunOpts(nil, simCfg, diag)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res.Metrics)
+		if err := enc.Encode(res.Metrics); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "simulated %.4g ms (seed %d): %d fg arrivals, %d bg generated\n",
+			res.SimTime, *seed, res.Counters.ArrivalsFG, res.Counters.GeneratedBG)
+		printMetrics(out, res.Metrics)
+		fmt.Fprintf(out, "qlen 95%% half-width  %12.6g (fg) %.6g (bg)\n", res.QLenFGHalf, res.QLenBGHalf)
 	}
-	fmt.Fprintf(out, "simulated %.4g ms (seed %d): %d fg arrivals, %d bg generated\n",
-		res.SimTime, *seed, res.Counters.ArrivalsFG, res.Counters.GeneratedBG)
-	printMetrics(out, res.Metrics)
-	fmt.Fprintf(out, "qlen 95%% half-width  %12.6g (fg) %.6g (bg)\n", res.QLenFGHalf, res.QLenBGHalf)
+	if diag != nil {
+		return writeDiag(*diagPath, diag, out)
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 
 	"bgperf/internal/experiments"
+	"bgperf/internal/obs"
 )
 
 func main() {
@@ -32,13 +33,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		figure  = fs.String("figure", "all", "artifact to generate (all | 1 | 2 | 5..13 | validation | ablation)")
-		format  = fs.String("format", "text", "output format (text | csv | gnuplot)")
-		outdir  = fs.String("outdir", "", "write one file per artifact into this directory instead of stdout")
-		seed    = fs.Int64("seed", 1, "seed for stochastic experiments")
-		simTime = fs.Float64("simtime", 2e8, "validation simulation window (ms)")
-		workers = fs.Int("workers", 0, "max goroutines for the sweep engine (0 = all cores, 1 = serial); output is identical for every setting")
-		list    = fs.Bool("list", false, "list available artifacts and exit")
+		figure   = fs.String("figure", "all", "artifact to generate (all | 1 | 2 | 5..13 | validation | ablation)")
+		format   = fs.String("format", "text", "output format (text | csv | gnuplot)")
+		outdir   = fs.String("outdir", "", "write one file per artifact into this directory instead of stdout")
+		seed     = fs.Int64("seed", 1, "seed for stochastic experiments")
+		simTime  = fs.Float64("simtime", 2e8, "validation simulation window (ms)")
+		workers  = fs.Int("workers", 0, "max goroutines for the sweep engine (0 = all cores, 1 = serial); output is identical for every setting")
+		list     = fs.Bool("list", false, "list available artifacts and exit")
+		diagPath = fs.String("diag", "", "write a JSON diagnostics report (solver stage timings, convergence, workspace reuse) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,10 +51,15 @@ func run(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("workers must be >= 0")
 	}
+	var diag *obs.Diagnostics
+	if *diagPath != "" {
+		diag = obs.NewDiagnostics()
+	}
 	opts := experiments.Options{
 		Seed:       *seed,
 		Workers:    *workers,
 		Validation: experiments.ValidationOptions{MeasureTime: *simTime},
+		Observer:   diag,
 	}
 	gens := experiments.All(opts)
 	if *list {
@@ -78,7 +85,30 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", g.Name, err)
 		}
 	}
+	if diag != nil {
+		if err := writeDiag(*diagPath, diag, out); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeDiag writes the JSON diagnostics report to path and a human-readable
+// convergence summary to out.
+func writeDiag(path string, d *obs.Diagnostics, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.FlushJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "diagnostics (JSON report in %s):\n", path)
+	return d.WriteSummary(out)
 }
 
 // emit writes a result either to stdout or as per-artifact files.

@@ -1,0 +1,79 @@
+package bgperf_test
+
+import (
+	"fmt"
+
+	"bgperf"
+)
+
+// ExampleSolve demonstrates the quickstart flow from the package comment.
+func ExampleSolve() {
+	email, _ := bgperf.EmailWorkload()
+	arr, _ := bgperf.AtUtilization(email, 0.08)
+	sol, _ := bgperf.Solve(bgperf.Config{
+		Arrival:     arr,
+		ServiceRate: bgperf.ServiceRatePerMs,
+		BGProb:      0.3,
+		BGBuffer:    5,
+		IdleRate:    bgperf.ServiceRatePerMs,
+	})
+	fmt.Printf("FG queue length: %.3f\n", sol.QLenFG)
+	fmt.Printf("BG completion:   %.3f\n", sol.CompBG)
+	// Output:
+	// FG queue length: 0.224
+	// BG completion:   0.796
+}
+
+// ExampleFitMMPP2 fits a two-state MMPP to target descriptors by moment
+// matching (the paper's Sec. 3.1 workflow).
+func ExampleFitMMPP2() {
+	m, _ := bgperf.FitMMPP2(bgperf.FitSpec{Rate: 1, SCV: 4, Decay: 0.9})
+	fmt.Printf("rate %.2f, SCV %.2f, ACF decay %.2f\n", m.Rate(), m.SCV(), m.ACFDecay())
+	// Output:
+	// rate 1.00, SCV 4.00, ACF decay 0.90
+}
+
+// ExampleSimulateReplications aggregates independent simulation replications
+// with 95% confidence half-widths. The aggregate is bit-identical for every
+// WithWorkers setting, so the output is stable.
+func ExampleSimulateReplications() {
+	p, _ := bgperf.Poisson(1)
+	res, _ := bgperf.SimulateReplications(bgperf.SimConfig{
+		Arrival:     p,
+		ServiceRate: 2,
+		BGProb:      0.5,
+		BGBuffer:    3,
+		IdleRate:    2,
+		Seed:        1,
+		WarmupTime:  100,
+		MeasureTime: 20000,
+	}, bgperf.WithReplications(8), bgperf.WithWorkers(4))
+	fmt.Printf("replications: %d\n", res.Reps)
+	fmt.Printf("FG queue length: %.2f ± %.2f\n", res.Mean.QLenFG, res.QLenFGHalf)
+	// Output:
+	// replications: 8
+	// FG queue length: 1.18 ± 0.02
+}
+
+// ExampleWithObserver attaches a Diagnostics collector to a solve and reads
+// the convergence report the -diag CLI flag would write as JSON.
+func ExampleWithObserver() {
+	email, _ := bgperf.EmailWorkload()
+	arr, _ := bgperf.AtUtilization(email, 0.5)
+	diag := bgperf.NewDiagnostics()
+	_, _ = bgperf.Solve(bgperf.Config{
+		Arrival:     arr,
+		ServiceRate: bgperf.ServiceRatePerMs,
+		BGProb:      0.6,
+		BGBuffer:    5,
+		IdleRate:    bgperf.ServiceRatePerMs,
+	}, bgperf.WithObserver(diag))
+	r := diag.Report()
+	fmt.Printf("reduction iterations: %d\n", r.LastRIterations)
+	fmt.Printf("residual below 1e-6: %t\n", r.LastResidual < 1e-6)
+	fmt.Printf("sp(R) below 1: %t\n", r.LastSpectralRadius < 1)
+	// Output:
+	// reduction iterations: 25
+	// residual below 1e-6: true
+	// sp(R) below 1: true
+}

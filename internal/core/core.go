@@ -54,6 +54,20 @@ func (p IdleWaitPolicy) String() string {
 	}
 }
 
+// ParseIdleWaitPolicy is the inverse of IdleWaitPolicy.String: it maps
+// "per-job" and "per-period" back to the policy constants, so CLI flags and
+// JSON configs round-trip without hard-coding integers.
+func ParseIdleWaitPolicy(s string) (IdleWaitPolicy, error) {
+	switch s {
+	case "per-job":
+		return IdleWaitPerJob, nil
+	case "per-period":
+		return IdleWaitPerPeriod, nil
+	default:
+		return 0, NewValidationError(ErrConfig, "IdlePolicy", "unknown idle-wait policy %q (want per-job or per-period)", s)
+	}
+}
+
 // Config parameterizes the FG/BG model.
 type Config struct {
 	// Arrival is the FG arrival process (MMPP in the paper).
@@ -104,23 +118,23 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	switch {
 	case c.Arrival == nil:
-		return fmt.Errorf("%w: nil arrival process", ErrConfig)
+		return NewValidationError(ErrConfig, "Arrival", "nil arrival process")
 	case c.Service == nil && c.ServiceMAP == nil && c.ServiceRate <= 0:
-		return fmt.Errorf("%w: service rate %g must be positive", ErrConfig, c.ServiceRate)
+		return NewValidationError(ErrConfig, "ServiceRate", "service rate %g must be positive", c.ServiceRate)
 	case c.Service != nil && (c.ServiceRate != 0 || c.ServiceMAP != nil):
-		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+		return NewValidationError(ErrConfig, "Service", "set exactly one of ServiceRate, Service, ServiceMAP")
 	case c.ServiceMAP != nil && c.ServiceRate != 0:
-		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+		return NewValidationError(ErrConfig, "ServiceMAP", "set exactly one of ServiceRate, Service, ServiceMAP")
 	case c.BGProb < 0 || c.BGProb > 1:
-		return fmt.Errorf("%w: BG probability %g must lie in [0,1]", ErrConfig, c.BGProb)
+		return NewValidationError(ErrConfig, "BGProb", "BG probability %g must lie in [0,1]", c.BGProb)
 	case c.BGBuffer < 0:
-		return fmt.Errorf("%w: BG buffer %d must be nonnegative", ErrConfig, c.BGBuffer)
+		return NewValidationError(ErrConfig, "BGBuffer", "BG buffer %d must be nonnegative", c.BGBuffer)
 	case c.IdleWait != nil && c.IdleRate != 0:
-		return fmt.Errorf("%w: set either IdleRate or IdleWait, not both", ErrConfig)
+		return NewValidationError(ErrConfig, "IdleWait", "set either IdleRate or IdleWait, not both")
 	case c.BGBuffer > 0 && c.IdleRate <= 0 && c.IdleWait == nil:
-		return fmt.Errorf("%w: idle rate %g must be positive when the BG buffer is nonempty", ErrConfig, c.IdleRate)
+		return NewValidationError(ErrConfig, "IdleRate", "idle rate %g must be positive when the BG buffer is nonempty", c.IdleRate)
 	case c.IdlePolicy != IdleWaitPerJob && c.IdlePolicy != IdleWaitPerPeriod:
-		return fmt.Errorf("%w: unknown idle-wait policy %d", ErrConfig, int(c.IdlePolicy))
+		return NewValidationError(ErrConfig, "IdlePolicy", "unknown idle-wait policy %d", int(c.IdlePolicy))
 	}
 	return nil
 }
@@ -152,6 +166,22 @@ func (k Kind) String() string {
 		return "idle-wait"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "empty":
+		return KindEmpty, nil
+	case "fg-serving":
+		return KindFG, nil
+	case "bg-serving":
+		return KindBG, nil
+	case "idle-wait":
+		return KindIdle, nil
+	default:
+		return 0, NewValidationError(ErrConfig, "Kind", "unknown state kind %q (want empty, fg-serving, bg-serving, or idle-wait)", s)
 	}
 }
 
@@ -231,7 +261,7 @@ func NewModel(cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 		}
 	} else if svc != nil {
-		if err := checkPHReachable(svc); err != nil {
+		if err := checkPHReachable(svc, "Service"); err != nil {
 			return nil, err
 		}
 	}
@@ -244,7 +274,7 @@ func NewModel(cfg Config) (*Model, error) {
 		}
 	}
 	if idle != nil {
-		if err := checkPHReachable(idle); err != nil {
+		if err := checkPHReachable(idle, "IdleWait"); err != nil {
 			return nil, err
 		}
 	}
@@ -401,7 +431,7 @@ func NewModel(cfg Config) (*Model, error) {
 // checkPHReachable verifies every service phase is reachable from the
 // support of β through T, which the chain construction requires for an
 // irreducible phase process.
-func checkPHReachable(d *phtype.Dist) error {
+func checkPHReachable(d *phtype.Dist, field string) error {
 	s := d.Order()
 	t := d.T()
 	reached := make([]bool, s)
@@ -424,7 +454,7 @@ func checkPHReachable(d *phtype.Dist) error {
 	}
 	for i, ok := range reached {
 		if !ok {
-			return fmt.Errorf("%w: service phase %d unreachable from β (trim the representation)", ErrConfig, i)
+			return NewValidationError(ErrConfig, field, "phase %d unreachable from β (trim the representation)", i)
 		}
 	}
 	return nil

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"bgperf/internal/obs"
 	"bgperf/internal/qbd"
 )
 
@@ -74,19 +76,42 @@ type Solution struct {
 // (plus the portion of background work the system admits) saturates the
 // server.
 func (m *Model) Solve() (*Solution, error) {
+	return m.SolveObserved(nil)
+}
+
+// SolveObserved is Solve reporting to an optional obs.Observer (nil reverts
+// to the uninstrumented fast path: no clocks, no reports, no allocations
+// beyond Solve's own — pinned by TestSolveAllocBudget). With an observer it
+// reports the chain-build, R-solve, boundary, and metric-extraction stage
+// durations plus the convergence trace and workspace statistics collected by
+// the QBD layer.
+func (m *Model) SolveObserved(o obs.Observer) (*Solution, error) {
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	boundary, proc, err := m.qbdBlocks()
 	if err != nil {
 		return nil, err
 	}
-	qsol, err := qbd.Solve(boundary, proc)
+	if o != nil {
+		o.StageDone(obs.StageBuild, time.Since(t0))
+	}
+	qsol, err := qbd.SolveObserved(boundary, proc, o)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if o != nil {
+		t0 = time.Now()
 	}
 	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.xEff + 1)}
 	s.tail = qsol.TailSum()
 	s.tailW = qsol.TailWeightedSum()
 	s.tailW2 = qsol.TailSquareWeightedSum()
 	s.computeMetrics()
+	if o != nil {
+		o.StageDone(obs.StageMetrics, time.Since(t0))
+	}
 	return s, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
+	"bgperf/internal/obs"
 	"bgperf/internal/par"
 	"bgperf/internal/trace"
 	"bgperf/internal/workload"
@@ -38,7 +39,8 @@ var (
 // over a bounded worker pool; results are collected index-addressed, so the
 // output is bit-identical to a serial run regardless of worker count.
 type Suite struct {
-	workers int
+	workers  int
+	observer obs.Observer
 
 	once  sync.Once
 	err   error
@@ -52,7 +54,15 @@ func NewSuite() *Suite { return NewSuiteWorkers(0) }
 
 // NewSuiteWorkers returns an empty suite whose sweeps fan grid points out
 // over at most workers goroutines (workers <= 0: all cores; 1: serial).
-func NewSuiteWorkers(workers int) *Suite { return &Suite{workers: workers} }
+func NewSuiteWorkers(workers int) *Suite { return NewSuiteObserved(workers, nil) }
+
+// NewSuiteObserved is NewSuiteWorkers with an optional obs.Observer that
+// every QBD solve of the cached load sweeps reports to (nil: no
+// instrumentation). The observer must tolerate concurrent calls — sweep grid
+// points solve in parallel.
+func NewSuiteObserved(workers int, o obs.Observer) *Suite {
+	return &Suite{workers: workers, observer: o}
+}
 
 // sweep holds solved metrics over a utilization × p grid for one workload.
 type sweep struct {
@@ -66,7 +76,7 @@ type sweep struct {
 // service time (the paper's default). Grid points are independent QBD solves,
 // so they fan out over the worker pool; each writes only its own
 // pre-allocated metrics cell, keeping the result identical to a serial run.
-func runSweep(name string, m *arrival.MAP, utils, ps []float64, workers int) (*sweep, error) {
+func runSweep(name string, m *arrival.MAP, utils, ps []float64, workers int, o obs.Observer) (*sweep, error) {
 	s := &sweep{name: name, utils: utils, ps: ps}
 	s.metrics = make([][]core.Metrics, len(ps))
 	for pi := range ps {
@@ -79,7 +89,7 @@ func runSweep(name string, m *arrival.MAP, utils, ps []float64, workers int) (*s
 		if err != nil {
 			return fmt.Errorf("experiments: %s sweep: %w", name, err)
 		}
-		met, err := solveMetrics(scaled, p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
+		met, err := solveMetricsObs(scaled, p, core.IdleWaitPerJob, workload.ServiceRatePerMs, o)
 		if err != nil {
 			return fmt.Errorf("experiments: %s util %g p %g: %w", name, util, p, err)
 		}
@@ -95,6 +105,11 @@ func runSweep(name string, m *arrival.MAP, utils, ps []float64, workers int) (*s
 // solveMetrics solves one configuration with the paper defaults (buffer 5,
 // idle rate = idleRate).
 func solveMetrics(m *arrival.MAP, p float64, policy core.IdleWaitPolicy, idleRate float64) (core.Metrics, error) {
+	return solveMetricsObs(m, p, policy, idleRate, nil)
+}
+
+// solveMetricsObs is solveMetrics reporting to an optional observer.
+func solveMetricsObs(m *arrival.MAP, p float64, policy core.IdleWaitPolicy, idleRate float64, o obs.Observer) (core.Metrics, error) {
 	model, err := core.NewModel(core.Config{
 		Arrival:     m,
 		ServiceRate: workload.ServiceRatePerMs,
@@ -106,7 +121,7 @@ func solveMetrics(m *arrival.MAP, p float64, policy core.IdleWaitPolicy, idleRat
 	if err != nil {
 		return core.Metrics{}, err
 	}
-	sol, err := model.Solve()
+	sol, err := model.SolveObserved(o)
 	if err != nil {
 		return core.Metrics{}, err
 	}
@@ -134,11 +149,11 @@ func (s *Suite) loadSweeps() error {
 			s.err = err
 			return
 		}
-		if s.email, err = runSweep("E-mail", email, emailUtils, pAll, s.workers); err != nil {
+		if s.email, err = runSweep("E-mail", email, emailUtils, pAll, s.workers, s.observer); err != nil {
 			s.err = err
 			return
 		}
-		s.soft, s.err = runSweep("Software Development", soft, softUtils, pAll, s.workers)
+		s.soft, s.err = runSweep("Software Development", soft, softUtils, pAll, s.workers, s.observer)
 	})
 	return s.err
 }

@@ -1,5 +1,7 @@
 package experiments
 
+import "bgperf/internal/obs"
+
 // Generator names one reproducible experiment.
 type Generator struct {
 	// Name is the CLI-facing identifier ("1", "5", "validation", …).
@@ -28,6 +30,10 @@ type Options struct {
 	Workers int
 	// Validation sizes the simulation cross-check.
 	Validation ValidationOptions
+	// Observer, when non-nil, collects solver and simulator diagnostics from
+	// the shared load sweeps and the validation cross-check (must tolerate
+	// concurrent calls — grid points solve in parallel).
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +42,7 @@ func (o Options) withDefaults() Options {
 	}
 	o.Validation.Seed = o.Seed
 	o.Validation.Workers = o.Workers
+	o.Validation.Observer = o.Observer
 	return o
 }
 
@@ -43,7 +50,7 @@ func (o Options) withDefaults() Options {
 // sweeps reuse one Suite, so running them all solves each grid only once.
 func All(opts Options) []Generator {
 	opts = opts.withDefaults()
-	suite := NewSuiteWorkers(opts.Workers)
+	suite := NewSuiteObserved(opts.Workers, opts.Observer)
 	w := opts.Workers
 	return []Generator{
 		{Name: "1", Paper: "Fig. 1 — trace ACF and characteristics table",

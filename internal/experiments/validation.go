@@ -5,6 +5,7 @@ import (
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
+	"bgperf/internal/obs"
 	"bgperf/internal/par"
 	"bgperf/internal/phtype"
 	"bgperf/internal/sim"
@@ -22,6 +23,9 @@ type ValidationOptions struct {
 	// Each case carries its own derived seed, so the table is identical for
 	// every worker count.
 	Workers int
+	// Observer, when non-nil, receives solver stage timings and simulator
+	// event counters from every case (must tolerate concurrent calls).
+	Observer obs.Observer
 }
 
 func (o ValidationOptions) withDefaults() ValidationOptions {
@@ -82,11 +86,11 @@ func Validation(opts ValidationOptions) (Result, error) {
 		if err != nil {
 			return err
 		}
-		ana, err := solveMetrics(scaled, c.p, core.IdleWaitPerJob, workload.ServiceRatePerMs)
+		ana, err := solveMetricsObs(scaled, c.p, core.IdleWaitPerJob, workload.ServiceRatePerMs, opts.Observer)
 		if err != nil {
 			return fmt.Errorf("experiments: validation %s: %w", c.name, err)
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunOpts(nil, sim.Config{
 			Arrival:     scaled,
 			ServiceRate: workload.ServiceRatePerMs,
 			BGProb:      c.p,
@@ -95,7 +99,7 @@ func Validation(opts ValidationOptions) (Result, error) {
 			Seed:        opts.Seed + int64(i),
 			WarmupTime:  opts.MeasureTime / 20,
 			MeasureTime: opts.MeasureTime,
-		})
+		}, opts.Observer)
 		if err != nil {
 			return fmt.Errorf("experiments: validation sim %s: %w", c.name, err)
 		}

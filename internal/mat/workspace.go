@@ -23,6 +23,26 @@ type Workspace struct {
 	mats map[int64][]*Matrix
 	vecs map[int][][]float64
 	lus  map[int][]*LU
+
+	stats WorkspaceStats
+}
+
+// WorkspaceStats counts pool hits (acquisitions served from a released
+// buffer) and misses (fresh allocations) per buffer kind. Counting is plain
+// field increments on the acquisition paths — no allocation, no branches —
+// so it is always on; Stats exposes the totals to the observability layer.
+type WorkspaceStats struct {
+	MatrixHits, MatrixMisses int64
+	VectorHits, VectorMisses int64
+	LUHits, LUMisses         int64
+}
+
+// Stats returns the accumulated pool statistics (zero for a nil workspace).
+func (w *Workspace) Stats() WorkspaceStats {
+	if w == nil {
+		return WorkspaceStats{}
+	}
+	return w.stats
 }
 
 // NewWorkspace returns an empty workspace.
@@ -47,8 +67,10 @@ func (w *Workspace) Matrix(rows, cols int) *Matrix {
 		m := pool[len(pool)-1]
 		w.mats[key] = pool[:len(pool)-1]
 		m.Zero()
+		w.stats.MatrixHits++
 		return m
 	}
+	w.stats.MatrixMisses++
 	return New(rows, cols)
 }
 
@@ -88,8 +110,10 @@ func (w *Workspace) Vector(n int) []float64 {
 		for i := range v {
 			v[i] = 0
 		}
+		w.stats.VectorHits++
 		return v
 	}
+	w.stats.VectorMisses++
 	return make([]float64, n)
 }
 
@@ -116,8 +140,10 @@ func (w *Workspace) LU(n int) *LU {
 	if pool := w.lus[n]; len(pool) > 0 {
 		f := pool[len(pool)-1]
 		w.lus[n] = pool[:len(pool)-1]
+		w.stats.LUHits++
 		return f
 	}
+	w.stats.LUMisses++
 	return NewLU(n)
 }
 

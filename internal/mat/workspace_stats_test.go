@@ -1,0 +1,31 @@
+package mat
+
+import "testing"
+
+// TestWorkspaceStats pins the pool accounting: first acquisitions are
+// misses, re-acquisitions after Release are hits, and a nil workspace
+// reports a zero value.
+func TestWorkspaceStats(t *testing.T) {
+	ws := NewWorkspace()
+	m1 := ws.Matrix(3, 3)
+	m2 := ws.Matrix(3, 3)
+	ws.Release(m1, m2)
+	_ = ws.Matrix(3, 3) // served from the pool
+
+	v := ws.Vector(4)
+	ws.ReleaseVector(v)
+	_ = ws.Vector(4) // hit
+
+	s := ws.Stats()
+	if s.MatrixMisses != 2 || s.MatrixHits != 1 {
+		t.Errorf("matrix stats = %d hits / %d misses, want 1/2", s.MatrixHits, s.MatrixMisses)
+	}
+	if s.VectorMisses != 1 || s.VectorHits != 1 {
+		t.Errorf("vector stats = %d hits / %d misses, want 1/1", s.VectorHits, s.VectorMisses)
+	}
+
+	var nilWS *Workspace
+	if got := nilWS.Stats(); got != (WorkspaceStats{}) {
+		t.Errorf("nil workspace stats = %+v, want zero", got)
+	}
+}

@@ -195,7 +195,7 @@ func TestWorkspaceReuse(t *testing.T) {
 	if nm := nilWS.Matrix(2, 2); nm == nil || nm.Rows() != 2 {
 		t.Fatal("nil workspace must allocate")
 	}
-	nilWS.Release(New(2, 2))          // must not panic
+	nilWS.Release(New(2, 2))             // must not panic
 	nilWS.ReleaseVector(nilWS.Vector(3)) // must not panic
 	nilWS.ReleaseLU(nilWS.LU(2))         // must not panic
 }

@@ -20,7 +20,6 @@ package multiclass
 
 import (
 	"errors"
-	"fmt"
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
@@ -58,17 +57,17 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	switch {
 	case c.Arrival == nil:
-		return fmt.Errorf("%w: nil arrival process", ErrConfig)
+		return core.NewValidationError(ErrConfig, "Arrival", "nil arrival process")
 	case c.ServiceRate <= 0:
-		return fmt.Errorf("%w: service rate %g must be positive", ErrConfig, c.ServiceRate)
+		return core.NewValidationError(ErrConfig, "ServiceRate", "service rate %g must be positive", c.ServiceRate)
 	case c.BG1Prob < 0 || c.BG2Prob < 0 || c.BG1Prob+c.BG2Prob > 1:
-		return fmt.Errorf("%w: spawn probabilities (%g, %g) must be nonnegative with sum <= 1", ErrConfig, c.BG1Prob, c.BG2Prob)
+		return core.NewValidationError(ErrConfig, "BG1Prob", "spawn probabilities (%g, %g) must be nonnegative with sum <= 1", c.BG1Prob, c.BG2Prob)
 	case c.BG1Buffer < 0 || c.BG2Buffer < 0:
-		return fmt.Errorf("%w: negative buffer", ErrConfig)
+		return core.NewValidationError(ErrConfig, "BG1Buffer", "negative buffer")
 	case (c.BG1Buffer > 0 && c.BG1Prob > 0 || c.BG2Buffer > 0 && c.BG2Prob > 0) && c.IdleRate <= 0:
-		return fmt.Errorf("%w: idle rate %g must be positive when background work exists", ErrConfig, c.IdleRate)
+		return core.NewValidationError(ErrConfig, "IdleRate", "idle rate %g must be positive when background work exists", c.IdleRate)
 	case c.IdlePolicy != core.IdleWaitPerJob && c.IdlePolicy != core.IdleWaitPerPeriod:
-		return fmt.Errorf("%w: unknown idle-wait policy %d", ErrConfig, int(c.IdlePolicy))
+		return core.NewValidationError(ErrConfig, "IdlePolicy", "unknown idle-wait policy %d", int(c.IdlePolicy))
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package multiclass
 
 import (
 	"fmt"
+	"time"
 
+	"bgperf/internal/obs"
 	"bgperf/internal/qbd"
 )
 
@@ -47,16 +49,36 @@ type Solution struct {
 
 // Solve builds and solves the QBD and assembles the metrics.
 func (m *Model) Solve() (*Solution, error) {
+	return m.SolveObserved(nil)
+}
+
+// SolveObserved is Solve reporting stage timings, the convergence trace, and
+// workspace statistics to an optional obs.Observer (nil skips all
+// instrumentation).
+func (m *Model) SolveObserved(o obs.Observer) (*Solution, error) {
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	boundary, proc, err := m.qbdBlocks()
 	if err != nil {
 		return nil, err
 	}
-	qsol, err := qbd.Solve(boundary, proc)
+	if o != nil {
+		o.StageDone(obs.StageBuild, time.Since(t0))
+	}
+	qsol, err := qbd.SolveObserved(boundary, proc, o)
 	if err != nil {
 		return nil, fmt.Errorf("multiclass: %w", err)
 	}
+	if o != nil {
+		t0 = time.Now()
+	}
 	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.boundaryLevels() + 1)}
 	s.computeMetrics()
+	if o != nil {
+		o.StageDone(obs.StageMetrics, time.Since(t0))
+	}
 	return s, nil
 }
 

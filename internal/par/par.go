@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,24 @@ func For(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, indices that
+// have not started return ctx.Err() instead of running fn. Indices already in
+// flight run to completion (fn may additionally watch ctx itself for prompt
+// in-flight aborts). Error selection keeps For's contract — the lowest
+// failing index wins — so a canceled sweep deterministically reports the
+// first index that did not complete. A nil ctx behaves exactly like For.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		return For(workers, n, fn)
+	}
+	return For(workers, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	})
 }
 
 // Jobs runs every closure in jobs across a bounded pool of workers, with the

@@ -2,8 +2,10 @@ package qbd
 
 import (
 	"fmt"
+	"time"
 
 	"bgperf/internal/mat"
+	"bgperf/internal/obs"
 )
 
 // Boundary describes the level-dependent boundary portion of a QBD: levels
@@ -105,11 +107,37 @@ type Solution struct {
 // mat.Workspace owned by the call, so buffers freed by one stage are reused
 // by the next instead of allocated fresh.
 func Solve(b Boundary, p *Process) (*Solution, error) {
+	return SolveObserved(b, p, nil)
+}
+
+// SolveObserved is Solve with an optional obs.Observer (nil is valid and
+// reverts to the uninstrumented fast path — no clocks are read and no
+// reports are made). With an observer attached it reports the R-solve and
+// boundary-solve stage durations, the logarithmic-reduction convergence
+// trace, sp(R), and the workspace pool statistics of the whole solve.
+func SolveObserved(b Boundary, p *Process, o obs.Observer) (*Solution, error) {
 	if err := b.validate(p); err != nil {
 		return nil, err
 	}
 	ws := mat.NewWorkspace()
-	r, err := p.rWS(ws)
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	r, err := p.rWS(ws, o)
+	if o != nil {
+		o.StageDone(obs.StageRSolve, time.Since(t0))
+		defer func() {
+			s := ws.Stats()
+			o.WorkspaceStats(obs.WorkspaceStats{
+				MatrixHits: s.MatrixHits, MatrixMisses: s.MatrixMisses,
+				VectorHits: s.VectorHits, VectorMisses: s.VectorMisses,
+				LUHits: s.LUHits, LUMisses: s.LUMisses,
+			})
+		}()
+		t0 = time.Now()
+		defer func() { o.StageDone(obs.StageBoundary, time.Since(t0)) }()
+	}
 	if err != nil {
 		return nil, err
 	}

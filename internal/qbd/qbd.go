@@ -23,6 +23,7 @@ import (
 
 	"bgperf/internal/markov"
 	"bgperf/internal/mat"
+	"bgperf/internal/obs"
 )
 
 // ErrInvalid reports malformed QBD blocks.
@@ -140,11 +141,16 @@ func (p *Process) Stable() (bool, error) {
 // the process, started in phase i of level n+1, first enters level n in phase
 // j — by logarithmic reduction on the uniformized chain. For a recurrent QBD,
 // G is stochastic.
-func (p *Process) G() (*mat.Matrix, error) { return p.gWS(nil) }
+func (p *Process) G() (*mat.Matrix, error) {
+	g, _, _, err := p.gWS(nil, nil)
+	return g, err
+}
 
 // gWS is G with an optional workspace supplying the reduction's scratch
-// buffers (nil is valid and allocates).
-func (p *Process) gWS(ws *mat.Workspace) (*mat.Matrix, error) {
+// buffers and an optional observer receiving the per-iteration convergence
+// trace (nil is valid for both). It also returns the iteration count and the
+// final residual for convergence reporting.
+func (p *Process) gWS(ws *mat.Workspace, o obs.Observer) (*mat.Matrix, int, float64, error) {
 	// Uniformize: the diagonal lives in A1.
 	theta := 0.0
 	for i := 0; i < p.order; i++ {
@@ -153,7 +159,7 @@ func (p *Process) gWS(ws *mat.Workspace) (*mat.Matrix, error) {
 		}
 	}
 	if theta == 0 {
-		return nil, fmt.Errorf("%w: zero generator", ErrInvalid)
+		return nil, 0, 0, fmt.Errorf("%w: zero generator", ErrInvalid)
 	}
 	theta *= 1 + 1e-12
 	m := p.order
@@ -163,9 +169,9 @@ func (p *Process) gWS(ws *mat.Workspace) (*mat.Matrix, error) {
 		b1.Add(i, i, 1)
 	}
 	b2 := ws.Matrix(m, m).ScaleInto(p.a2, 1/theta)
-	g, _, err := logReductionWS(b0, b1, b2, ws)
+	g, iters, residual, err := logReductionObs(b0, b1, b2, ws, o)
 	ws.Release(b0, b1, b2)
-	return g, err
+	return g, iters, residual, err
 }
 
 // logRedState is the preallocated working set of one logarithmic-reduction
@@ -185,6 +191,10 @@ type logRedState struct {
 	scratch *mat.Matrix // ping-pong partner / subtraction target
 	lu      *mat.LU
 	rowSums []float64
+
+	// defect is the residual (max |1 − rowsum(G)|) after the latest step —
+	// the quantity the convergence trace reports.
+	defect float64
 }
 
 // newLogRedState acquires the working set for order-m blocks from ws (nil ws
@@ -259,6 +269,7 @@ func (s *logRedState) step() (done bool, err error) {
 			defect = d
 		}
 	}
+	s.defect = defect
 	if defect < 1e-13 || s.tl.MaxAbs() < 1e-15 {
 		return true, nil
 	}
@@ -273,39 +284,47 @@ func (s *logRedState) step() (done bool, err error) {
 // multiplication budget of this innermost solver loop (8·iters + 1 matrix
 // products).
 func logReduction(b0, b1, b2 *mat.Matrix) (*mat.Matrix, int, error) {
-	return logReductionWS(b0, b1, b2, nil)
+	g, iters, _, err := logReductionObs(b0, b1, b2, nil, nil)
+	return g, iters, err
 }
 
-// logReductionWS is logReduction drawing its working set from ws (nil ws
-// allocates). The returned G is not handed back to ws; every other buffer is
-// released for reuse by later solver stages.
-func logReductionWS(b0, b1, b2 *mat.Matrix, ws *mat.Workspace) (*mat.Matrix, int, error) {
+// logReductionObs is logReduction drawing its working set from ws (nil ws
+// allocates) and reporting the per-iteration residual to o (nil o skips all
+// reporting — the unobserved loop stays allocation-free). The returned G is
+// not handed back to ws; every other buffer is released for reuse by later
+// solver stages. residual is G's defect after the final iteration.
+func logReductionObs(b0, b1, b2 *mat.Matrix, ws *mat.Workspace, o obs.Observer) (g *mat.Matrix, iters int, residual float64, err error) {
 	s := newLogRedState(b0.Rows(), ws)
 	defer s.release()
 	if err := s.start(b0, b1, b2); err != nil {
-		return nil, 0, fmt.Errorf("qbd: logarithmic reduction: %w", err)
+		return nil, 0, 0, fmt.Errorf("qbd: logarithmic reduction: %w", err)
 	}
 	const maxIter = 200
 	for iter := 0; iter < maxIter; iter++ {
 		done, err := s.step()
+		if o != nil {
+			o.RIteration(iter+1, s.defect)
+		}
 		if err != nil {
-			return nil, iter, fmt.Errorf("qbd: logarithmic reduction step %d: %w", iter, err)
+			return nil, iter, s.defect, fmt.Errorf("qbd: logarithmic reduction step %d: %w", iter, err)
 		}
 		if done {
-			return s.g, iter + 1, nil
+			return s.g, iter + 1, s.defect, nil
 		}
 	}
-	return nil, maxIter, fmt.Errorf("%w: logarithmic reduction after %d iterations", ErrNoConvergence, maxIter)
+	return nil, maxIter, s.defect, fmt.Errorf("%w: logarithmic reduction after %d iterations", ErrNoConvergence, maxIter)
 }
 
 // R computes the rate matrix R, the minimal nonnegative solution of
 // A0 + R·A1 + R²·A2 = 0, via R = A0·(−(A1 + A0·G))⁻¹. The spectral radius of
 // R is < 1 exactly when the process is stable.
-func (p *Process) R() (*mat.Matrix, error) { return p.rWS(nil) }
+func (p *Process) R() (*mat.Matrix, error) { return p.rWS(nil, nil) }
 
-// rWS is R with an optional workspace for every intermediate (nil is valid
-// and allocates).
-func (p *Process) rWS(ws *mat.Workspace) (*mat.Matrix, error) {
+// rWS is R with an optional workspace for every intermediate and an optional
+// observer receiving the convergence trace plus a completion report with
+// sp(R) (nil is valid for both; with a nil observer no timing or spectral-
+// radius work runs).
+func (p *Process) rWS(ws *mat.Workspace, o obs.Observer) (*mat.Matrix, error) {
 	stable, err := p.Stable()
 	if err != nil {
 		return nil, err
@@ -314,7 +333,7 @@ func (p *Process) rWS(ws *mat.Workspace) (*mat.Matrix, error) {
 		up, down, _ := p.Drift()
 		return nil, fmt.Errorf("%w: upward drift %.6g >= downward drift %.6g", ErrUnstable, up, down)
 	}
-	g, err := p.gWS(ws)
+	g, iters, residual, err := p.gWS(ws, o)
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +364,9 @@ func (p *Process) rWS(ws *mat.Workspace) (*mat.Matrix, error) {
 				r.Set(i, j, 0)
 			}
 		}
+	}
+	if o != nil {
+		o.RSolved(iters, residual, mat.SpectralRadius(r, 1e-12, 10000))
 	}
 	return r, nil
 }

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"bgperf/internal/core"
+	"bgperf/internal/obs"
 	"bgperf/internal/par"
 )
 
@@ -35,18 +38,31 @@ type ReplicationResult struct {
 // cfg.Seed + r, so replication 0 reproduces Run(cfg) exactly and the
 // aggregate is bit-identical for every worker count.
 func RunReplications(cfg Config, reps, workers int) (*ReplicationResult, error) {
+	return RunReplicationsOpts(nil, cfg, reps, workers, nil)
+}
+
+// RunReplicationsOpts is RunReplications with an optional context for
+// cancellation and an optional obs.Observer receiving per-run event counters
+// and replication progress (nil is valid for both). Cancellation stops
+// unstarted replications immediately and aborts in-flight ones at their next
+// event-loop poll, returning a context.Canceled-wrapped error.
+func RunReplicationsOpts(ctx context.Context, cfg Config, reps, workers int, o obs.Observer) (*ReplicationResult, error) {
 	if reps < 1 {
-		return nil, fmt.Errorf("%w: need at least 1 replication, got %d", ErrConfig, reps)
+		return nil, core.NewValidationError(ErrConfig, "Replications", "need at least 1 replication, got %d", reps)
 	}
 	results := make([]*Result, reps)
-	err := par.For(workers, reps, func(r int) error {
+	var done atomic.Int64
+	err := par.ForCtx(ctx, workers, reps, func(r int) error {
 		repCfg := cfg
 		repCfg.Seed = cfg.Seed + int64(r)
-		res, err := Run(repCfg)
+		res, err := RunOpts(ctx, repCfg, o)
 		if err != nil {
 			return fmt.Errorf("replication %d (seed %d): %w", r, repCfg.Seed, err)
 		}
 		results[r] = res
+		if o != nil {
+			o.ReplicationDone(int(done.Add(1)), reps)
+		}
 		return nil
 	})
 	if err != nil {

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
+	"bgperf/internal/obs"
 	"bgperf/internal/phtype"
 )
 
@@ -30,6 +32,29 @@ const (
 	// real disk firmware often uses, outside the Markov chain's reach.
 	IdleDeterministic
 )
+
+func (d IdleDist) String() string {
+	switch d {
+	case IdleExponential:
+		return "exponential"
+	case IdleDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("IdleDist(%d)", int(d))
+	}
+}
+
+// ParseIdleDist is the inverse of IdleDist.String.
+func ParseIdleDist(s string) (IdleDist, error) {
+	switch s {
+	case "exponential":
+		return IdleExponential, nil
+	case "deterministic":
+		return IdleDeterministic, nil
+	default:
+		return 0, core.NewValidationError(ErrConfig, "IdleDist", "unknown idle-wait distribution %q (want exponential or deterministic)", s)
+	}
+}
 
 // Config parameterizes a simulation run. The queueing semantics mirror
 // core.Config exactly (single non-preemptive server, FCFS foreground,
@@ -92,42 +117,43 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	switch {
 	case c.Arrival == nil:
-		return fmt.Errorf("%w: nil arrival process", ErrConfig)
+		return core.NewValidationError(ErrConfig, "Arrival", "nil arrival process")
 	case c.Service == nil && c.ServiceMAP == nil && c.ServiceRate <= 0:
-		return fmt.Errorf("%w: service rate %g must be positive", ErrConfig, c.ServiceRate)
+		return core.NewValidationError(ErrConfig, "ServiceRate", "service rate %g must be positive", c.ServiceRate)
 	case c.Service != nil && (c.ServiceRate != 0 || c.ServiceMAP != nil):
-		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+		return core.NewValidationError(ErrConfig, "Service", "set exactly one of ServiceRate, Service, ServiceMAP")
 	case c.ServiceMAP != nil && c.ServiceRate != 0:
-		return fmt.Errorf("%w: set exactly one of ServiceRate, Service, ServiceMAP", ErrConfig)
+		return core.NewValidationError(ErrConfig, "ServiceMAP", "set exactly one of ServiceRate, Service, ServiceMAP")
 	case c.BGProb < 0 || c.BGProb > 1:
-		return fmt.Errorf("%w: BG probability %g outside [0,1]", ErrConfig, c.BGProb)
+		return core.NewValidationError(ErrConfig, "BGProb", "BG probability %g outside [0,1]", c.BGProb)
 	case c.BGBuffer < 0:
-		return fmt.Errorf("%w: negative BG buffer", ErrConfig)
+		return core.NewValidationError(ErrConfig, "BGBuffer", "negative BG buffer")
 	case c.IdleWait != nil && c.IdleRate != 0:
-		return fmt.Errorf("%w: set either IdleRate or IdleWait, not both", ErrConfig)
+		return core.NewValidationError(ErrConfig, "IdleWait", "set either IdleRate or IdleWait, not both")
 	case c.IdleWait != nil && c.IdleDist == IdleDeterministic:
-		return fmt.Errorf("%w: IdleWait and IdleDeterministic are incompatible", ErrConfig)
+		return core.NewValidationError(ErrConfig, "IdleDist", "IdleWait and IdleDeterministic are incompatible")
 	case c.BGBuffer > 0 && c.IdleRate <= 0 && c.IdleWait == nil:
-		return fmt.Errorf("%w: idle rate %g must be positive with a BG buffer", ErrConfig, c.IdleRate)
+		return core.NewValidationError(ErrConfig, "IdleRate", "idle rate %g must be positive with a BG buffer", c.IdleRate)
 	case c.MeasureTime <= 0:
-		return fmt.Errorf("%w: measurement window %g must be positive", ErrConfig, c.MeasureTime)
+		return core.NewValidationError(ErrConfig, "MeasureTime", "measurement window %g must be positive", c.MeasureTime)
 	case c.WarmupTime < 0:
-		return fmt.Errorf("%w: negative warmup", ErrConfig)
+		return core.NewValidationError(ErrConfig, "WarmupTime", "negative warmup")
 	case c.Batches < 2:
-		return fmt.Errorf("%w: need at least 2 batches", ErrConfig)
+		return core.NewValidationError(ErrConfig, "Batches", "need at least 2 batches")
 	}
 	return nil
 }
 
 // Counters are raw event counts over the measurement window.
 type Counters struct {
-	ArrivalsFG  int64
-	CompletedFG int64
-	DelayedFG   int64 // FG arrivals that found a BG job in service
-	GeneratedBG int64
-	AdmittedBG  int64
-	DroppedBG   int64
-	CompletedBG int64
+	ArrivalsFG      int64
+	CompletedFG     int64
+	DelayedFG       int64 // FG arrivals that found a BG job in service
+	GeneratedBG     int64
+	AdmittedBG      int64
+	DroppedBG       int64
+	CompletedBG     int64
+	IdleExpirations int64 // idle-wait timers that expired and started BG service
 }
 
 // Result holds the measured steady-state estimates.
@@ -164,6 +190,16 @@ const inf = math.MaxFloat64
 // Use RunReplications to fan independent replications out over a worker
 // pool and aggregate them.
 func Run(cfg Config) (*Result, error) {
+	return RunOpts(nil, cfg, nil)
+}
+
+// RunOpts is Run with an optional context for cancellation and an optional
+// obs.Observer receiving the run's event counters (nil is valid for both and
+// reverts to the plain fast path). Cancellation is cooperative: the event
+// loop polls ctx every few thousand events, so a canceled simulation returns
+// a context.Canceled-wrapped error within microseconds rather than finishing
+// the measurement window.
+func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -315,7 +351,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	var events int64
 	for now < measEnd {
+		if events++; ctx != nil && events&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: canceled at t=%g: %w", now, err)
+			}
+		}
 		next := math.Min(nextArr, math.Min(serviceEnd, idleExpiry))
 		accumulate(next - now)
 		now = next
@@ -380,6 +422,9 @@ func Run(cfg Config) (*Result, error) {
 			if state != stateIdleWait || bgQueue == 0 {
 				return nil, fmt.Errorf("sim: idle expiry in state %d with %d BG", state, bgQueue)
 			}
+			if inWindow() {
+				res.Counters.IdleExpirations++
+			}
 			startBG()
 		}
 	}
@@ -415,6 +460,15 @@ func Run(cfg Config) (*Result, error) {
 
 	res.QLenFGHalf = batchHalfWidth(batchFG, batchLen)
 	res.QLenBGHalf = batchHalfWidth(batchBG, batchLen)
+	if o != nil {
+		c := res.Counters
+		o.SimRun(obs.SimCounters{
+			ArrivalsFG: c.ArrivalsFG, CompletedFG: c.CompletedFG,
+			DelayedFG: c.DelayedFG, GeneratedBG: c.GeneratedBG,
+			AdmittedBG: c.AdmittedBG, DroppedBG: c.DroppedBG,
+			CompletedBG: c.CompletedBG, IdleExpirations: c.IdleExpirations,
+		})
+	}
 	return &res, nil
 }
 

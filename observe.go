@@ -1,0 +1,39 @@
+package bgperf
+
+import "bgperf/internal/obs"
+
+// Observability types, re-exported from the instrumentation subsystem. See
+// WithObserver for attaching them to solver and simulator calls.
+type (
+	// Observer receives instrumentation events from the solver stack; all
+	// methods may be called concurrently and must be cheap.
+	Observer = obs.Observer
+	// Diagnostics is the standard Observer: a concurrency-safe collector
+	// aggregating stage timings, convergence traces, simulator counters,
+	// MAP-fit diagnostics, and workspace pool statistics. FlushJSON writes
+	// the machine-readable report, WriteSummary a human-readable summary.
+	Diagnostics = obs.Diagnostics
+	// DiagReport is the snapshot Diagnostics.Report returns and FlushJSON
+	// marshals.
+	DiagReport = obs.Report
+	// Stage identifies one stage of an analytic solve.
+	Stage = obs.Stage
+	// WorkspaceStats counts solver buffer-pool hits and misses.
+	WorkspaceStats = obs.WorkspaceStats
+	// SimCounters are the event counts of one simulator run.
+	SimCounters = obs.SimCounters
+	// FitDiag compares a MAP fit's achieved descriptors to its targets.
+	FitDiag = obs.FitDiag
+)
+
+// Solver stages, in execution order.
+const (
+	StageBuild    = obs.StageBuild
+	StageRSolve   = obs.StageRSolve
+	StageBoundary = obs.StageBoundary
+	StageMetrics  = obs.StageMetrics
+)
+
+// NewDiagnostics returns an empty Diagnostics collector, ready to pass to
+// WithObserver (one collector may serve many concurrent calls).
+func NewDiagnostics() *Diagnostics { return obs.NewDiagnostics() }

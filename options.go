@@ -1,0 +1,88 @@
+package bgperf
+
+import (
+	"context"
+	"fmt"
+
+	"bgperf/internal/core"
+	"bgperf/internal/obs"
+	"bgperf/internal/sim"
+)
+
+// Option configures a single call to one of the package entry points
+// (Solve, NewModel, Simulate, SimulateReplications, SolveMulti, FitMMPP2).
+// Options compose left to right; zero options reproduce the uninstrumented
+// default behavior exactly. Options irrelevant to a particular entry point
+// (WithReplications on Solve, say) are accepted and ignored, so one option
+// slice can be threaded through a pipeline of calls.
+type Option func(*callOpts)
+
+// callOpts is the resolved option set of one call.
+type callOpts struct {
+	observer obs.Observer
+	ctx      context.Context
+	workers  int
+	reps     int
+
+	// err defers option-argument validation to the call site, so invalid
+	// options surface as ordinary errors rather than panics.
+	err error
+}
+
+// apply resolves opts over the defaults: no observer, no cancellation
+// context, all cores, one replication.
+func apply(opts []Option) callOpts {
+	o := callOpts{reps: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// ctxErr reports an already-canceled WithContext before starting work, so
+// fast analytic calls honor cancellation too.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("bgperf: canceled before start: %w", err)
+	}
+	return nil
+}
+
+// WithObserver attaches an Observer (typically a *Diagnostics collector) to
+// the call. Every solver stage, reduction iteration, simulation run, and
+// workspace pool the call touches reports to it. Without this option the
+// solver runs its zero-overhead fast path: no clocks are read and no
+// instrumentation allocates.
+func WithObserver(o Observer) Option {
+	return func(c *callOpts) { c.observer = o }
+}
+
+// WithContext attaches a cancellation context. Long operations — simulation
+// event loops, replication sweeps — poll it cooperatively and return a
+// context.Canceled- (or DeadlineExceeded-) wrapped error promptly after
+// cancellation, matchable with errors.Is.
+func WithContext(ctx context.Context) Option {
+	return func(c *callOpts) { c.ctx = ctx }
+}
+
+// WithWorkers bounds the goroutine pool of parallel operations
+// (SimulateReplications) to n workers; n <= 0 means all cores. Results are
+// bit-identical for every worker count.
+func WithWorkers(n int) Option {
+	return func(c *callOpts) { c.workers = n }
+}
+
+// WithReplications sets the number of independent simulation replications
+// (default 1). n < 1 yields a ValidationError from the call.
+func WithReplications(n int) Option {
+	return func(c *callOpts) {
+		if n < 1 {
+			c.err = core.NewValidationError(sim.ErrConfig, "Replications", "need at least 1 replication, got %d", n)
+			return
+		}
+		c.reps = n
+	}
+}

@@ -1,0 +1,275 @@
+package bgperf_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"bgperf"
+	"bgperf/internal/sim"
+)
+
+// replicationConfig is a small, fast simulation shared by the option tests.
+func replicationConfig() bgperf.SimConfig {
+	p, err := bgperf.Poisson(1)
+	if err != nil {
+		panic(err)
+	}
+	return bgperf.SimConfig{
+		Arrival:     p,
+		ServiceRate: 2,
+		BGProb:      0.5,
+		BGBuffer:    3,
+		IdleRate:    2,
+		Seed:        1,
+		WarmupTime:  100,
+		MeasureTime: 5000,
+	}
+}
+
+// TestSimulateReplicationsOptionEquivalence pins the API redesign's
+// compatibility contract: the variadic-option call must reproduce the old
+// positional sim.RunReplications(cfg, reps, workers) byte for byte, for any
+// worker count.
+func TestSimulateReplicationsOptionEquivalence(t *testing.T) {
+	cfg := replicationConfig()
+	old, err := sim.RunReplications(cfg, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := bgperf.SimulateReplications(cfg,
+			bgperf.WithReplications(30), bgperf.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: option call diverged from positional call\ngot  %s\nwant %s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestSimulateReplicationsDefault checks the zero-option call runs one
+// replication, matching a plain Simulate of the same seed.
+func TestSimulateReplicationsDefault(t *testing.T) {
+	cfg := replicationConfig()
+	res, err := bgperf.SimulateReplications(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 1 {
+		t.Fatalf("default replications = %d, want 1", res.Reps)
+	}
+	single, err := bgperf.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.QLenFG != single.Metrics.QLenFG {
+		t.Errorf("single replication %v != direct run %v", res.Mean.QLenFG, single.Metrics.QLenFG)
+	}
+}
+
+func TestWithReplicationsInvalid(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		_, err := bgperf.SimulateReplications(replicationConfig(), bgperf.WithReplications(n))
+		if err == nil {
+			t.Fatalf("WithReplications(%d) accepted", n)
+		}
+		var verr *bgperf.ValidationError
+		if !errors.As(err, &verr) {
+			t.Fatalf("WithReplications(%d): got %T (%v), want *ValidationError", n, err, err)
+		}
+		if verr.Field != "Replications" {
+			t.Errorf("Field = %q, want Replications", verr.Field)
+		}
+	}
+	// The positional internal path must reject reps < 1 identically.
+	var verr *bgperf.ValidationError
+	if _, err := sim.RunReplications(replicationConfig(), 0, 1); !errors.As(err, &verr) {
+		t.Errorf("sim.RunReplications(cfg, 0, 1): got %v, want ValidationError", err)
+	}
+}
+
+func TestWithContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	email, err := bgperf.EmailWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := bgperf.AtUtilization(email, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bgperf.Config{
+		Arrival: arr, ServiceRate: bgperf.ServiceRatePerMs,
+		BGProb: 0.3, BGBuffer: 5, IdleRate: bgperf.ServiceRatePerMs,
+	}
+	if _, err := bgperf.Solve(cfg, bgperf.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Solve with canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := bgperf.Simulate(replicationConfig(), bgperf.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Simulate with canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := bgperf.SimulateReplications(replicationConfig(),
+		bgperf.WithContext(ctx), bgperf.WithReplications(4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("SimulateReplications with canceled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestWithContextCancelsSimulation cancels a long event loop mid-run and
+// expects a prompt context.Canceled-wrapped return.
+func TestWithContextCancelsSimulation(t *testing.T) {
+	cfg := replicationConfig()
+	cfg.MeasureTime = 1e12 // would take minutes uncanceled
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := bgperf.Simulate(cfg, bgperf.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+// TestWithObserverDiagnostics runs a Figure 5-style solve with a Diagnostics
+// collector and checks the report carries the acceptance-criterion fields:
+// non-zero R-iteration count, final residual, stage timings, and workspace
+// hit/miss counters.
+func TestWithObserverDiagnostics(t *testing.T) {
+	email, err := bgperf.EmailWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := bgperf.AtUtilization(email, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := bgperf.NewDiagnostics()
+	_, err = bgperf.Solve(bgperf.Config{
+		Arrival: arr, ServiceRate: bgperf.ServiceRatePerMs,
+		BGProb: 0.6, BGBuffer: 5, IdleRate: bgperf.ServiceRatePerMs,
+	}, bgperf.WithObserver(diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := diag.Report()
+	if r.Solves != 1 || r.RSolves != 1 {
+		t.Errorf("Solves=%d RSolves=%d, want 1/1", r.Solves, r.RSolves)
+	}
+	if r.RIterations == 0 || r.LastRIterations == 0 {
+		t.Errorf("R iterations not recorded: total %d, last %d", r.RIterations, r.LastRIterations)
+	}
+	if r.LastResidual <= 0 || r.LastResidual > 1e-6 {
+		t.Errorf("LastResidual = %g, want converged positive residual", r.LastResidual)
+	}
+	if r.LastSpectralRadius <= 0 || r.LastSpectralRadius >= 1 {
+		t.Errorf("sp(R) = %g, want in (0,1) for a stable model", r.LastSpectralRadius)
+	}
+	if len(r.ConvergenceTrace) != r.LastRIterations {
+		t.Errorf("trace length %d != last iterations %d", len(r.ConvergenceTrace), r.LastRIterations)
+	}
+	for _, stage := range []bgperf.Stage{
+		bgperf.StageBuild, bgperf.StageRSolve, bgperf.StageBoundary, bgperf.StageMetrics,
+	} {
+		sr, ok := r.Stages[stage.String()]
+		if !ok || sr.Count != 1 {
+			t.Errorf("stage %s missing or miscounted: %+v", stage, sr)
+		}
+	}
+	if r.Workspace.Hits()+r.Workspace.Misses() == 0 {
+		t.Error("workspace pool statistics empty")
+	}
+}
+
+// TestWithObserverSimulate checks simulator counters and replication
+// progress flow into the collector.
+func TestWithObserverSimulate(t *testing.T) {
+	diag := bgperf.NewDiagnostics()
+	_, err := bgperf.SimulateReplications(replicationConfig(),
+		bgperf.WithReplications(3), bgperf.WithWorkers(2), bgperf.WithObserver(diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := diag.Report()
+	if r.SimRuns != 3 {
+		t.Errorf("SimRuns = %d, want 3", r.SimRuns)
+	}
+	if r.Sim.ArrivalsFG == 0 || r.Sim.CompletedFG == 0 {
+		t.Errorf("simulator counters empty: %+v", r.Sim)
+	}
+	if r.ReplicationsDone != 3 || r.ReplicationsTotal != 3 {
+		t.Errorf("replication progress %d/%d, want 3/3", r.ReplicationsDone, r.ReplicationsTotal)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	p, err := bgperf.Poisson(3) // offered load 1.5 at rate-2 service: unstable
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bgperf.Solve(bgperf.Config{
+		Arrival: p, ServiceRate: 2, BGProb: 0.5, BGBuffer: 3, IdleRate: 2,
+	})
+	if !errors.Is(err, bgperf.ErrUnstable) {
+		t.Errorf("saturated model: got %v, want ErrUnstable", err)
+	}
+
+	_, err = bgperf.Solve(bgperf.Config{
+		Arrival: p, ServiceRate: 2, BGProb: 1.5, BGBuffer: 3, IdleRate: 2,
+	})
+	var verr *bgperf.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("invalid BGProb: got %T (%v), want *ValidationError", err, err)
+	}
+	if verr.Field != "BGProb" || verr.Reason == "" {
+		t.Errorf("ValidationError = %+v, want Field BGProb with a reason", verr)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for _, p := range []bgperf.IdleWaitPolicy{bgperf.IdleWaitPerJob, bgperf.IdleWaitPerPeriod} {
+		got, err := bgperf.ParseIdleWaitPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseIdleWaitPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	for _, d := range []bgperf.IdleDist{bgperf.IdleExponential, bgperf.IdleDeterministic} {
+		got, err := bgperf.ParseIdleDist(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseIdleDist(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	for _, k := range []bgperf.Kind{bgperf.KindEmpty, bgperf.KindFG, bgperf.KindBG, bgperf.KindIdle} {
+		got, err := bgperf.ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	var verr *bgperf.ValidationError
+	if _, err := bgperf.ParseIdleWaitPolicy("bogus"); !errors.As(err, &verr) {
+		t.Errorf("ParseIdleWaitPolicy(bogus): %v, want ValidationError", err)
+	}
+	if _, err := bgperf.ParseIdleDist("bogus"); !errors.As(err, &verr) {
+		t.Errorf("ParseIdleDist(bogus): %v, want ValidationError", err)
+	}
+	if _, err := bgperf.ParseKind("bogus"); !errors.As(err, &verr) {
+		t.Errorf("ParseKind(bogus): %v, want ValidationError", err)
+	}
+}

@@ -173,6 +173,14 @@ func Solve(cfg Config, opts ...Option) (*Solution, error) {
 	return m.SolveObserved(o.observer)
 }
 
+// CacheKey returns a canonical, collision-resistant identity for a model
+// configuration: the hex SHA-256 of a tagged binary encoding of the
+// validated Config (defaults applied). Identical keys imply bit-identical
+// Solve results, so the key is safe for memoizing solutions — it is the
+// cache key used by the bgperfd solve cache. Invalid configurations return
+// the same *ValidationError that NewModel would.
+func CacheKey(cfg Config) (string, error) { return core.CacheKey(cfg) }
+
 // Simulate runs the independent event simulator. WithContext cancels the
 // event loop promptly; WithObserver collects the run's event counters.
 func Simulate(cfg SimConfig, opts ...Option) (*SimResult, error) {

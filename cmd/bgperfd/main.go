@@ -1,0 +1,103 @@
+// Command bgperfd serves the paper's analytic model as a long-running
+// HTTP/JSON daemon: a solver-as-a-service front-end with an LRU solve
+// cache, singleflight request coalescing, per-request deadlines, and
+// graceful draining on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	bgperfd -addr :8377
+//	bgperfd -addr :8377 -cache-entries 8192 -cache-bytes 134217728 \
+//	        -request-timeout 10s -workers 8 -drain-timeout 15s
+//
+// Endpoints (see docs/API.md for schemas and examples):
+//
+//	POST /v1/solve    one parameter point → steady-state metrics
+//	POST /v1/sweep    a batch of points, fanned out over the worker pool
+//	GET  /healthz     200 while serving, 503 once draining
+//	GET  /metrics     JSON snapshot: serve counters + solver diagnostics
+//	GET  /debug/vars  process-wide expvar counters
+//
+// A cached or coalesced point never re-invokes the QBD solver, and the
+// daemon's metrics JSON for a point is byte-identical to
+// `bgperf solve -json` for the same configuration.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgperf/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bgperfd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, starts the daemon, and blocks until a signal drains it.
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("bgperfd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8377", "listen address")
+		cacheEntries = fs.Int("cache-entries", serve.DefaultCacheEntries, "solve cache entry bound (negative disables caching)")
+		cacheBytes   = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "solve cache byte budget (negative removes the bound)")
+		reqTimeout   = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request solve deadline")
+		workers      = fs.Int("workers", 0, "sweep fan-out workers (0 = one per core)")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := serve.New(serve.Options{
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		RequestTimeout: *reqTimeout,
+		Workers:        *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(logw, "bgperfd: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure to bind or serve.
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising health, reject new solve work with 503, and
+	// give in-flight requests the grace period before closing the listener.
+	fmt.Fprintln(logw, "bgperfd: signal received, draining")
+	s.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(logw, "bgperfd: drained, exiting")
+	return nil
+}

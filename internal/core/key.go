@@ -1,0 +1,107 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/mat"
+	"bgperf/internal/phtype"
+)
+
+// Field tags of the canonical Config encoding hashed by CacheKey. Every
+// optional component writes its tag before its payload, so "Service unset"
+// and "Service set to an empty-looking distribution" can never collide, and
+// new fields can be appended without perturbing existing keys.
+const (
+	keyTagArrival byte = iota + 1
+	keyTagServiceRate
+	keyTagServicePH
+	keyTagServiceMAP
+	keyTagBGProb
+	keyTagBGBuffer
+	keyTagIdleRate
+	keyTagIdlePH
+	keyTagIdlePolicy
+)
+
+// CacheKey returns a canonical, collision-resistant identity for a model
+// configuration: the hex-encoded SHA-256 of a tagged binary encoding of the
+// validated Config (defaults applied). Two configurations receive the same
+// key exactly when they describe the same chain — the same arrival MAP
+// matrices, service law, BG probability and buffer, idle-wait law, and idle
+// policy — which makes the key safe to use for memoizing Solve results:
+// identical keys always yield bit-identical solutions. Invalid
+// configurations return the same *ValidationError that NewModel would.
+func CacheKey(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	keyMAP(h, keyTagArrival, cfg.Arrival)
+	switch {
+	case cfg.Service != nil:
+		keyPH(h, keyTagServicePH, cfg.Service)
+	case cfg.ServiceMAP != nil:
+		keyMAP(h, keyTagServiceMAP, cfg.ServiceMAP)
+	default:
+		keyFloats(h, keyTagServiceRate, cfg.ServiceRate)
+	}
+	keyFloats(h, keyTagBGProb, cfg.BGProb)
+	keyInts(h, keyTagBGBuffer, int64(cfg.BGBuffer))
+	if cfg.IdleWait != nil {
+		keyPH(h, keyTagIdlePH, cfg.IdleWait)
+	} else {
+		keyFloats(h, keyTagIdleRate, cfg.IdleRate)
+	}
+	keyInts(h, keyTagIdlePolicy, int64(cfg.IdlePolicy))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// keyInts writes a tagged sequence of integers into the hash.
+func keyInts(h hash.Hash, tag byte, vals ...int64) {
+	h.Write([]byte{tag})
+	for _, v := range vals {
+		binary.Write(h, binary.LittleEndian, v)
+	}
+}
+
+// keyFloats writes a tagged sequence of float64 bit patterns into the hash.
+func keyFloats(h hash.Hash, tag byte, vals ...float64) {
+	h.Write([]byte{tag})
+	for _, v := range vals {
+		binary.Write(h, binary.LittleEndian, v)
+	}
+}
+
+// keyMatrix writes a dimension-prefixed dense matrix into the hash.
+func keyMatrix(h hash.Hash, m *mat.Matrix) {
+	binary.Write(h, binary.LittleEndian, int64(m.Rows()))
+	binary.Write(h, binary.LittleEndian, int64(m.Cols()))
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			binary.Write(h, binary.LittleEndian, m.At(i, j))
+		}
+	}
+}
+
+// keyMAP writes a tagged (D0, D1) MAP description into the hash.
+func keyMAP(h hash.Hash, tag byte, m *arrival.MAP) {
+	h.Write([]byte{tag})
+	keyMatrix(h, m.D0())
+	keyMatrix(h, m.D1())
+}
+
+// keyPH writes a tagged (β, T) phase-type description into the hash.
+func keyPH(h hash.Hash, tag byte, d *phtype.Dist) {
+	h.Write([]byte{tag})
+	beta := d.Beta()
+	binary.Write(h, binary.LittleEndian, int64(len(beta)))
+	for _, b := range beta {
+		binary.Write(h, binary.LittleEndian, b)
+	}
+	keyMatrix(h, d.T())
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/phtype"
+)
+
+func keyTestConfig(t *testing.T) Config {
+	t.Helper()
+	m, err := arrival.MMPP2(9e-7, 1.9e-6, 1e-4, 3.5e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Arrival:     m,
+		ServiceRate: 1.0 / 6,
+		BGProb:      0.3,
+		BGBuffer:    5,
+		IdleRate:    1.0 / 6,
+	}
+}
+
+func TestCacheKeyDeterministic(t *testing.T) {
+	cfg := keyTestConfig(t)
+	k1, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same config hashed to %s and %s", k1, k2)
+	}
+	if len(k1) != 64 || strings.ToLower(k1) != k1 {
+		t.Fatalf("want lowercase hex sha256, got %q", k1)
+	}
+}
+
+// TestCacheKeyDefaultsApplied pins that the zero IdlePolicy and the explicit
+// default hash identically: the key is an identity of the *model*, not of
+// the literal struct.
+func TestCacheKeyDefaultsApplied(t *testing.T) {
+	cfg := keyTestConfig(t)
+	implicit, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.IdlePolicy = IdleWaitPerJob
+	explicit, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != explicit {
+		t.Fatalf("zero-value policy key %s != explicit default key %s", implicit, explicit)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := keyTestConfig(t)
+	baseKey, err := CacheKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := phtype.Erlang(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherMAP, err := arrival.MMPP2(9e-7, 1.9e-6, 1e-4, 3.6e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Config){
+		"Arrival":     func(c *Config) { c.Arrival = otherMAP },
+		"ServiceRate": func(c *Config) { c.ServiceRate = 1.0 / 7 },
+		"Service":     func(c *Config) { c.ServiceRate = 0; c.Service = ph },
+		"ServiceMAP":  func(c *Config) { c.ServiceRate = 0; c.ServiceMAP = otherMAP },
+		"BGProb":      func(c *Config) { c.BGProb = 0.31 },
+		"BGBuffer":    func(c *Config) { c.BGBuffer = 6 },
+		"IdleRate":    func(c *Config) { c.IdleRate = 1.0 / 12 },
+		"IdleWait":    func(c *Config) { c.IdleRate = 0; c.IdleWait = ph },
+		"IdlePolicy":  func(c *Config) { c.IdlePolicy = IdleWaitPerPeriod },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		key, err := CacheKey(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if key == baseKey {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+}
+
+// TestCacheKeyTagDisambiguation pins that an exponential service given as a
+// rate and the same law given as a one-phase PH hash differently: the key
+// identifies the configuration, and the chain builders treat the two
+// representations through different code paths.
+func TestCacheKeyTagDisambiguation(t *testing.T) {
+	cfg := keyTestConfig(t)
+	rateKey, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := phtype.Exponential(cfg.ServiceRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ServiceRate = 0
+	cfg.Service = exp
+	phKey, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rateKey == phKey {
+		t.Fatal("rate-form and PH-form service collided")
+	}
+}
+
+func TestCacheKeyInvalidConfig(t *testing.T) {
+	_, err := CacheKey(Config{})
+	if err == nil {
+		t.Fatal("want validation error for zero Config")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want *ValidationError, got %T: %v", err, err)
+	}
+}

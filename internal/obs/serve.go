@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Serve-layer counters exported via expvar, alongside the solver counters
+// above. The bgperfd daemon mounts expvar.Handler at /debug/vars, so these
+// process-wide totals are scrapeable even without the /metrics snapshot.
+var (
+	expServeRequests    = expvar.NewInt("bgperf.serve.requests")
+	expServeCacheHits   = expvar.NewInt("bgperf.serve.cache_hits")
+	expServeCacheMisses = expvar.NewInt("bgperf.serve.cache_misses")
+	expServeCoalesced   = expvar.NewInt("bgperf.serve.coalesced")
+	expServeSolves      = expvar.NewInt("bgperf.serve.solves")
+	expServeInFlight    = expvar.NewInt("bgperf.serve.in_flight")
+	expServeRejected    = expvar.NewInt("bgperf.serve.rejected")
+)
+
+// serveLatencyWindow bounds the latency reservoir: quantiles are computed
+// over the most recent window of solve durations, so a long-running daemon
+// reports current behavior rather than its lifetime average.
+const serveLatencyWindow = 1024
+
+// ServeStats is the snapshot of one ServeCollector — the serve-layer section
+// of the bgperfd /metrics report.
+type ServeStats struct {
+	// Requests counts solve-point requests handled (solve requests plus
+	// individual sweep points), whatever their outcome.
+	Requests int64 `json:"requests"`
+	// CacheHits counts requests answered straight from the solve cache.
+	CacheHits int64 `json:"cacheHits"`
+	// CacheMisses counts requests that found no cached solution.
+	CacheMisses int64 `json:"cacheMisses"`
+	// Coalesced counts requests that piggybacked on an identical in-flight
+	// solve instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+	// Solves counts solver invocations actually performed — cache misses
+	// that won their coalescing group and ran the QBD machinery.
+	Solves int64 `json:"solves"`
+	// InFlight is the number of solves running at snapshot time.
+	InFlight int64 `json:"inFlight"`
+	// Rejected counts requests refused with 503 while draining.
+	Rejected int64 `json:"rejected"`
+	// LatencySamples is how many solve durations the quantiles below are
+	// computed from (at most the most recent 1024).
+	LatencySamples int64 `json:"latencySamples"`
+	// LatencyP50Ms and LatencyP99Ms are nearest-rank quantiles of the solve
+	// duration in milliseconds, over the recent-sample window.
+	LatencyP50Ms float64 `json:"latencyP50Ms"`
+	LatencyP99Ms float64 `json:"latencyP99Ms"`
+}
+
+// ServeCollector aggregates serving-layer events — cache effectiveness,
+// request coalescing, in-flight pressure, and solve-latency quantiles — for
+// the bgperfd daemon. Like Diagnostics, it is concurrency-safe, mirrors its
+// totals into package-level expvar counters, and every method is a nil-safe
+// no-op so an unobserved serving stack costs nothing.
+type ServeCollector struct {
+	mu sync.Mutex
+
+	requests   int64
+	cacheHits  int64
+	cacheMiss  int64
+	coalesced  int64
+	solves     int64
+	inFlight   int64
+	rejected   int64
+	recorded   int64
+	latMs [serveLatencyWindow]float64
+}
+
+// NewServeCollector returns an empty serve-layer collector.
+func NewServeCollector() *ServeCollector { return &ServeCollector{} }
+
+// Request records one solve-point request entering the serving stack.
+func (s *ServeCollector) Request() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+	expServeRequests.Add(1)
+}
+
+// CacheHit records a request answered from the solve cache.
+func (s *ServeCollector) CacheHit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+	expServeCacheHits.Add(1)
+}
+
+// CacheMiss records a request that found no cached solution.
+func (s *ServeCollector) CacheMiss() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cacheMiss++
+	s.mu.Unlock()
+	expServeCacheMisses.Add(1)
+}
+
+// Coalesced records a request that joined an identical in-flight solve.
+func (s *ServeCollector) Coalesced() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.coalesced++
+	s.mu.Unlock()
+	expServeCoalesced.Add(1)
+}
+
+// Rejected records a request refused while the daemon drains.
+func (s *ServeCollector) Rejected() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+	expServeRejected.Add(1)
+}
+
+// SolveStart records a solver invocation beginning; pair it with SolveDone.
+func (s *ServeCollector) SolveStart() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+	expServeInFlight.Add(1)
+}
+
+// SolveDone records a solver invocation completing after duration d.
+func (s *ServeCollector) SolveDone(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.inFlight--
+	s.solves++
+	s.latMs[s.recorded%serveLatencyWindow] = float64(d) / float64(time.Millisecond)
+	s.recorded++
+	s.mu.Unlock()
+	expServeInFlight.Add(-1)
+	expServeSolves.Add(1)
+}
+
+// Snapshot returns a consistent copy of the serve-layer statistics,
+// including nearest-rank latency quantiles over the recent-sample window.
+func (s *ServeCollector) Snapshot() ServeStats {
+	if s == nil {
+		return ServeStats{}
+	}
+	s.mu.Lock()
+	st := ServeStats{
+		Requests:    s.requests,
+		CacheHits:   s.cacheHits,
+		CacheMisses: s.cacheMiss,
+		Coalesced:   s.coalesced,
+		Solves:      s.solves,
+		InFlight:    s.inFlight,
+		Rejected:    s.rejected,
+	}
+	n := s.recorded
+	if n > serveLatencyWindow {
+		n = serveLatencyWindow
+	}
+	lats := append([]float64(nil), s.latMs[:n]...)
+	s.mu.Unlock()
+	st.LatencySamples = n
+	if n > 0 {
+		sort.Float64s(lats)
+		st.LatencyP50Ms = quantileNearestRank(lats, 0.50)
+		st.LatencyP99Ms = quantileNearestRank(lats, 0.99)
+	}
+	return st
+}
+
+// quantileNearestRank returns the nearest-rank q-quantile of sorted (q in
+// (0, 1]): the smallest sample with rank ≥ q·n.
+func quantileNearestRank(sorted []float64, q float64) float64 {
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeCollectorCounters(t *testing.T) {
+	s := NewServeCollector()
+	for i := 0; i < 5; i++ {
+		s.Request()
+	}
+	s.CacheHit()
+	s.CacheHit()
+	s.CacheMiss()
+	s.Coalesced()
+	s.Rejected()
+	s.SolveStart()
+	st := s.Snapshot()
+	if st.Requests != 5 || st.CacheHits != 2 || st.CacheMisses != 1 || st.Coalesced != 1 || st.Rejected != 1 {
+		t.Fatalf("counter mismatch: %+v", st)
+	}
+	if st.InFlight != 1 || st.Solves != 0 {
+		t.Fatalf("want 1 in flight before SolveDone, got %+v", st)
+	}
+	s.SolveDone(2 * time.Millisecond)
+	st = s.Snapshot()
+	if st.InFlight != 0 || st.Solves != 1 || st.LatencySamples != 1 {
+		t.Fatalf("after SolveDone: %+v", st)
+	}
+	if st.LatencyP50Ms != 2 || st.LatencyP99Ms != 2 {
+		t.Fatalf("single-sample quantiles should equal the sample: %+v", st)
+	}
+}
+
+func TestServeCollectorQuantiles(t *testing.T) {
+	s := NewServeCollector()
+	// 100 solves at 1..100 ms: nearest-rank p50 = 50, p99 = 99.
+	for i := 1; i <= 100; i++ {
+		s.SolveStart()
+		s.SolveDone(time.Duration(i) * time.Millisecond)
+	}
+	st := s.Snapshot()
+	if st.LatencySamples != 100 {
+		t.Fatalf("want 100 samples, got %d", st.LatencySamples)
+	}
+	if st.LatencyP50Ms != 50 || st.LatencyP99Ms != 99 {
+		t.Fatalf("want p50=50 p99=99, got p50=%g p99=%g", st.LatencyP50Ms, st.LatencyP99Ms)
+	}
+}
+
+// TestServeCollectorWindow pins that the latency reservoir holds only the
+// most recent serveLatencyWindow samples.
+func TestServeCollectorWindow(t *testing.T) {
+	s := NewServeCollector()
+	// Fill the window with 1 ms, then overwrite it entirely with 10 ms.
+	for i := 0; i < serveLatencyWindow; i++ {
+		s.SolveStart()
+		s.SolveDone(time.Millisecond)
+	}
+	for i := 0; i < serveLatencyWindow; i++ {
+		s.SolveStart()
+		s.SolveDone(10 * time.Millisecond)
+	}
+	st := s.Snapshot()
+	if st.LatencySamples != serveLatencyWindow {
+		t.Fatalf("want window-bounded samples, got %d", st.LatencySamples)
+	}
+	if st.LatencyP50Ms != 10 || st.LatencyP99Ms != 10 {
+		t.Fatalf("old samples leaked into the window: %+v", st)
+	}
+}
+
+func TestServeCollectorNilSafe(t *testing.T) {
+	var s *ServeCollector
+	s.Request()
+	s.CacheHit()
+	s.CacheMiss()
+	s.Coalesced()
+	s.Rejected()
+	s.SolveStart()
+	s.SolveDone(time.Millisecond)
+	if st := s.Snapshot(); st != (ServeStats{}) {
+		t.Fatalf("nil collector snapshot not zero: %+v", st)
+	}
+}
+
+func TestServeCollectorConcurrent(t *testing.T) {
+	s := NewServeCollector()
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Request()
+				s.CacheMiss()
+				s.SolveStart()
+				s.SolveDone(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Requests != workers*per || st.Solves != workers*per || st.InFlight != 0 {
+		t.Fatalf("lost events under concurrency: %+v", st)
+	}
+}

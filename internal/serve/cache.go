@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"unsafe"
+
+	"bgperf/internal/core"
+)
+
+// entryOverhead approximates the per-entry bookkeeping cost charged against
+// the byte budget on top of the key and the metrics payload: the list
+// element, the map bucket share, and the entry struct itself.
+const entryOverhead = 128
+
+// cache is a concurrency-safe LRU of solved metrics keyed by the canonical
+// Config hash (core.CacheKey). It is doubly bounded: by entry count and by
+// an approximate byte budget; inserting past either bound evicts from the
+// least-recently-used end. Identical keys always carry bit-identical
+// metrics (the solver is deterministic), so Add never needs to compare or
+// overwrite payloads — re-adding an existing key just refreshes its recency.
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List
+	items      map[string]*list.Element
+}
+
+// cacheEntry is one key → metrics binding plus its charged size.
+type cacheEntry struct {
+	key  string
+	m    core.Metrics
+	size int64
+}
+
+// newCache returns an LRU bounded to maxEntries entries and maxBytes
+// approximate bytes. maxEntries <= 0 disables caching entirely (Get always
+// misses, Add discards); maxBytes <= 0 means no byte bound.
+func newCache(maxEntries int, maxBytes int64) *cache {
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// entrySize charges the key bytes, the metrics struct, and the fixed
+// overhead against the byte budget.
+func entrySize(key string) int64 {
+	return int64(len(key)) + int64(unsafe.Sizeof(core.Metrics{})) + entryOverhead
+}
+
+// Get returns the cached metrics for key and refreshes its recency.
+func (c *cache) Get(key string) (core.Metrics, bool) {
+	if c == nil || c.maxEntries <= 0 {
+		return core.Metrics{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return core.Metrics{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).m, true
+}
+
+// Add inserts key → m, evicting least-recently-used entries until both
+// bounds hold again. Adding a present key only refreshes its recency.
+func (c *cache) Add(key string, m core.Metrics) {
+	if c == nil || c.maxEntries <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key, m: m, size: entrySize(key)}
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += e.size
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the least-recently-used entry; callers hold c.mu.
+func (c *cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+}
+
+// Len returns the current entry count.
+func (c *cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the approximate bytes currently charged.
+func (c *cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

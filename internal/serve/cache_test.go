@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"bgperf/internal/core"
+)
+
+func metricsN(n int) core.Metrics { return core.Metrics{QLenFG: float64(n)} }
+
+func TestCacheEntryBound(t *testing.T) {
+	c := newCache(3, 0)
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("k%d", i), metricsN(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		m, ok := c.Get(fmt.Sprintf("k%d", i))
+		if !ok || m.QLenFG != float64(i) {
+			t.Errorf("k%d missing or wrong: %v %v", i, m.QLenFG, ok)
+		}
+	}
+}
+
+func TestCacheRecency(t *testing.T) {
+	c := newCache(2, 0)
+	c.Add("a", metricsN(1))
+	c.Add("b", metricsN(2))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", metricsN(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was refreshed and must survive")
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	per := entrySize("somekey-0")
+	c := newCache(1000, 3*per)
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("somekey-%d", i), metricsN(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 under the byte budget", c.Len())
+	}
+	if c.Bytes() > 3*per {
+		t.Fatalf("bytes = %d exceeds budget %d", c.Bytes(), 3*per)
+	}
+}
+
+// TestCacheByteBudgetKeepsOne pins that a budget smaller than a single
+// entry still caches the most recent entry rather than thrashing to empty —
+// the eviction loop never removes the entry it just inserted.
+func TestCacheByteBudgetKeepsOne(t *testing.T) {
+	c := newCache(1000, 1)
+	c.Add("a", metricsN(1))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want the just-inserted entry to survive", c.Len())
+	}
+	c.Add("b", metricsN(2))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want exactly one entry under a tiny budget", c.Len())
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("the newer entry should be the survivor")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0, 0)
+	c.Add("a", metricsN(1))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+}
+
+func TestCacheReAddRefreshes(t *testing.T) {
+	c := newCache(2, 0)
+	c.Add("a", metricsN(1))
+	c.Add("b", metricsN(2))
+	c.Add("a", metricsN(1)) // refresh, not duplicate
+	if c.Len() != 2 {
+		t.Fatalf("re-adding duplicated the entry: len %d", c.Len())
+	}
+	c.Add("c", metricsN(3))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("refreshed entry evicted before the stale one")
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"bgperf/internal/core"
+)
+
+// flightGroup coalesces concurrent solves of the same cache key: the first
+// request for a key (the leader) runs the solver; requests arriving while
+// that solve is in flight (followers) block on its completion and share the
+// result, so N identical concurrent requests cost exactly one solve. This
+// is a purpose-built singleflight with two twists the serving layer needs:
+// followers report whether they coalesced (for the hit counters), and a
+// follower whose context expires stops waiting and returns the context
+// error — one slow solve cannot pin a faster caller past its deadline.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	// waiters counts followers currently parked on an in-flight call. Tests
+	// read it to sequence deterministic coalescing scenarios; nothing in the
+	// serving path depends on it.
+	waiters atomic.Int64
+}
+
+// flightCall is one in-flight solve; done closes when val/err are final.
+type flightCall struct {
+	done chan struct{}
+	val  core.Metrics
+	err  error
+}
+
+// newFlightGroup returns an empty coalescing group.
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns the result of fn for key, running fn at most once across
+// concurrent callers with the same key. The boolean reports whether this
+// caller coalesced onto another caller's solve (false for the leader). A
+// follower returns ctx.Err() if its context ends before the leader
+// finishes; the leader itself always runs fn to completion so its result
+// can still populate the cache for later requests.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (core.Metrics, error)) (core.Metrics, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.waiters.Add(1)
+		defer g.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return core.Metrics{}, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

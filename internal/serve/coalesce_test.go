@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bgperf/internal/core"
+)
+
+func TestFlightGroupSingleCall(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	const n = 8
+
+	// A known leader enters first and blocks inside fn …
+	var leaderWG sync.WaitGroup
+	leaderWG.Add(1)
+	go func() {
+		defer leaderWG.Done()
+		m, err, co := g.Do(context.Background(), "k", func() (core.Metrics, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-release
+			return metricsN(42), nil
+		})
+		if err != nil || co || m.QLenFG != 42 {
+			t.Errorf("leader: %v %v %v", m.QLenFG, err, co)
+		}
+	}()
+	<-leaderIn
+
+	// … then n followers pile on while the call is in flight.
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err, co := g.Do(context.Background(), "k", func() (core.Metrics, error) {
+				calls.Add(1)
+				return metricsN(-1), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !co {
+				t.Error("follower did not coalesce")
+			}
+			if m.QLenFG != 42 {
+				t.Errorf("follower got %v, want the leader's 42", m.QLenFG)
+			}
+		}()
+	}
+	// Release the leader only after every follower is parked on its call.
+	for g.waiters.Load() != n {
+	}
+	close(release)
+	wg.Wait()
+	leaderWG.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", got)
+	}
+}
+
+func TestFlightGroupFollowerDeadline(t *testing.T) {
+	g := newFlightGroup()
+	block := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (core.Metrics, error) {
+		close(leaderIn)
+		<-block
+		return metricsN(1), nil
+	})
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, co := g.Do(ctx, "k", func() (core.Metrics, error) {
+		t.Fatal("follower must not run fn")
+		return core.Metrics{}, nil
+	})
+	if !co {
+		t.Fatal("caller should have coalesced onto the blocked leader")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	close(block)
+}
+
+func TestFlightGroupErrorShared(t *testing.T) {
+	g := newFlightGroup()
+	sentinel := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func() (core.Metrics, error) {
+		return core.Metrics{}, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("leader error lost: %v", err)
+	}
+	// The failed call must not wedge the key: a later call runs fresh.
+	m, err, co := g.Do(context.Background(), "k", func() (core.Metrics, error) {
+		return metricsN(7), nil
+	})
+	if err != nil || co || m.QLenFG != 7 {
+		t.Fatalf("key wedged after error: %v %v %v", m.QLenFG, err, co)
+	}
+}

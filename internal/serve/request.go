@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"strings"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+	"bgperf/internal/phtype"
+	"bgperf/internal/workload"
+)
+
+// SolveRequest is the JSON body of POST /v1/solve: one parameter point of
+// the paper's model, in the same vocabulary as the bgperf CLI flags. Fields
+// left at their zero value take the CLI defaults noted below, so a request
+// and the equivalent `bgperf solve` invocation describe — and therefore
+// cache-key to — the same model.
+type SolveRequest struct {
+	// Workload names the arrival process: email, softdev, useraccounts,
+	// email-lowacf, email-ipp, or poisson (the CLI catalog).
+	Workload string `json:"workload"`
+	// Utilization rescales the workload to this foreground load; 0 keeps
+	// the native trace load. Values >= 1 are accepted and reach the solver,
+	// which reports the overloaded model as unstable (HTTP 422).
+	Utilization float64 `json:"utilization,omitempty"`
+	// BGProb is the probability a foreground completion spawns a background
+	// job (the paper's p). Unlike the CLI flag it has no implicit default:
+	// absent means 0.
+	BGProb float64 `json:"bgProb"`
+	// BGBuffer is the background buffer capacity X; nil means the paper
+	// default of 5 (0 is a valid explicit value: drop all BG work).
+	BGBuffer *int `json:"bgBuffer,omitempty"`
+	// IdleMult is the mean idle wait in multiples of the 6 ms service time;
+	// 0 means 1.
+	IdleMult float64 `json:"idleMult,omitempty"`
+	// Policy selects idle-wait re-arming: per-job (default) or per-period.
+	Policy string `json:"policy,omitempty"`
+	// ServiceSCV sets the service-time SCV at the 6 ms mean; 0 means 1
+	// (exponential), <1 fits an Erlang, >1 a hyperexponential.
+	ServiceSCV float64 `json:"serviceSCV,omitempty"`
+	// IdleSCV sets the idle-wait SCV at the chosen mean; 0 means 1.
+	IdleSCV float64 `json:"idleSCV,omitempty"`
+}
+
+// SweepRequest is the JSON body of POST /v1/sweep: a batch of independent
+// parameter points fanned out over the daemon's worker pool. Each point
+// passes through the same cache and coalescing path as a single solve.
+type SweepRequest struct {
+	// Points are the parameter points to solve, answered index-aligned.
+	Points []SolveRequest `json:"points"`
+}
+
+// workloadByName resolves a catalog workload (the CLI's vocabulary).
+func workloadByName(name string) (*arrival.MAP, error) {
+	switch strings.ToLower(name) {
+	case "email":
+		return workload.Email()
+	case "softdev", "software-development":
+		return workload.SoftwareDevelopment()
+	case "useraccounts", "user-accounts":
+		return workload.UserAccounts()
+	case "email-lowacf":
+		return workload.EmailLowACF()
+	case "email-ipp":
+		return workload.EmailIPP()
+	case "poisson":
+		return workload.EmailPoisson()
+	default:
+		return nil, core.NewValidationError(core.ErrConfig, "workload",
+			"unknown workload %q (want email | softdev | useraccounts | email-lowacf | email-ipp | poisson)", name)
+	}
+}
+
+// Config resolves the request into a validated core.Config, applying the
+// CLI-compatible defaults. Errors are *core.ValidationError with the
+// offending request field, so handlers map them to 400 responses verbatim.
+func (r SolveRequest) Config() (core.Config, error) {
+	m, err := workloadByName(r.Workload)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if r.Utilization < 0 {
+		return core.Config{}, core.NewValidationError(core.ErrConfig, "utilization",
+			"utilization %g must be non-negative", r.Utilization)
+	}
+	switch {
+	case r.Utilization > 0 && r.Utilization < 1:
+		if m, err = workload.AtUtilization(m, r.Utilization); err != nil {
+			return core.Config{}, err
+		}
+	case r.Utilization >= 1:
+		// Deliberately overloaded points are structurally valid; the QBD
+		// solver reports them as unstable, which the daemon maps to 422.
+		if m, err = m.WithRate(r.Utilization * workload.ServiceRatePerMs); err != nil {
+			return core.Config{}, err
+		}
+	}
+	buffer := 5
+	if r.BGBuffer != nil {
+		buffer = *r.BGBuffer
+	}
+	idleMult := r.IdleMult
+	if idleMult == 0 {
+		idleMult = 1
+	}
+	if idleMult < 0 {
+		return core.Config{}, core.NewValidationError(core.ErrConfig, "idleMult",
+			"idle-wait multiplier %g must be positive", idleMult)
+	}
+	policyName := r.Policy
+	if policyName == "" {
+		policyName = "per-job"
+	}
+	policy, err := core.ParseIdleWaitPolicy(policyName)
+	if err != nil {
+		return core.Config{}, err
+	}
+	serviceSCV := r.ServiceSCV
+	if serviceSCV == 0 {
+		serviceSCV = 1
+	}
+	idleSCV := r.IdleSCV
+	if idleSCV == 0 {
+		idleSCV = 1
+	}
+	cfg := core.Config{
+		Arrival:    m,
+		BGProb:     r.BGProb,
+		BGBuffer:   buffer,
+		IdlePolicy: policy,
+	}
+	idleMean := idleMult * workload.MeanServiceTimeMs
+	if idleSCV == 1 {
+		cfg.IdleRate = 1 / idleMean
+	} else {
+		idle, err := phtype.FitTwoMoment(idleMean, idleSCV)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.IdleWait = idle
+	}
+	if serviceSCV == 1 {
+		cfg.ServiceRate = workload.ServiceRatePerMs
+	} else {
+		svc, err := phtype.FitTwoMoment(workload.MeanServiceTimeMs, serviceSCV)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Service = svc
+	}
+	return cfg, nil
+}

@@ -1,0 +1,402 @@
+// Package serve implements the HTTP serving layer of the bgperfd daemon: a
+// long-running solver-as-a-service front-end over the analytic engine.
+//
+// The serving stack layers three mechanisms over core.Model.Solve, all keyed
+// by the canonical configuration hash (core.CacheKey):
+//
+//   - an LRU solve cache (bounded entry count and byte budget) — identical
+//     parameter points are answered without touching the QBD solver;
+//   - singleflight request coalescing — N concurrent requests for the same
+//     uncached point cost exactly one solve, with the followers sharing the
+//     leader's result;
+//   - per-request deadlines and graceful draining — requests carry a
+//     context deadline (504 on expiry), and a draining server answers new
+//     work with 503 while in-flight solves complete.
+//
+// Endpoints: POST /v1/solve (one parameter point), POST /v1/sweep (a batch
+// fanned out over the internal/par worker pool), GET /healthz, GET /metrics
+// (JSON snapshot: serve-layer counters plus the solver diagnostics report),
+// and GET /debug/vars (the process-wide expvar mirrors). Everything is
+// instrumented through internal/obs: cache hits and misses, coalesced
+// requests, in-flight solves, and p50/p99 solve latency.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"bgperf/internal/core"
+	"bgperf/internal/obs"
+	"bgperf/internal/par"
+	"bgperf/internal/qbd"
+)
+
+// Serving defaults, overridable through Options (and the bgperfd flags).
+const (
+	// DefaultCacheEntries bounds the solve cache to this many entries.
+	DefaultCacheEntries = 4096
+	// DefaultCacheBytes bounds the solve cache to this approximate size.
+	DefaultCacheBytes = 64 << 20
+	// DefaultRequestTimeout is the per-request solve deadline.
+	DefaultRequestTimeout = 30 * time.Second
+	// maxSweepPoints bounds one sweep request, as backpressure against a
+	// single caller monopolizing the pool.
+	maxSweepPoints = 4096
+	// maxBodyBytes bounds request bodies read from the wire.
+	maxBodyBytes = 8 << 20
+)
+
+// Options configures a Server. The zero value takes every default.
+type Options struct {
+	// CacheEntries bounds the solve cache entry count; 0 means
+	// DefaultCacheEntries, negative disables caching.
+	CacheEntries int
+	// CacheBytes bounds the solve cache byte budget; 0 means
+	// DefaultCacheBytes, negative removes the byte bound.
+	CacheBytes int64
+	// RequestTimeout is the per-request deadline; 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Workers bounds the sweep fan-out pool; <= 0 means one per core.
+	Workers int
+	// Observer optionally replaces the server's own Diagnostics collector
+	// as the solver observer (tests count solves through it).
+	Observer obs.Observer
+}
+
+// Server is the bgperfd HTTP service: handlers plus the solve cache, the
+// coalescing group, and the serve-layer statistics. Create it with New and
+// mount Handler on an http.Server.
+type Server struct {
+	cache    *cache
+	group    *flightGroup
+	stats    *obs.ServeCollector
+	diag     *obs.Diagnostics
+	observer obs.Observer
+	workers  int
+	timeout  time.Duration
+	draining atomic.Bool
+	mux      *http.ServeMux
+
+	// solveBarrier, when set by tests, runs inside the leader's solve —
+	// before the solver — so tests can hold a solve in flight while
+	// follower requests pile onto the coalescing group.
+	solveBarrier func()
+}
+
+// New returns a ready-to-mount Server over the given options.
+func New(opts Options) *Server {
+	entries := opts.CacheEntries
+	switch {
+	case entries == 0:
+		entries = DefaultCacheEntries
+	case entries < 0:
+		entries = 0 // disabled
+	}
+	bytes := opts.CacheBytes
+	switch {
+	case bytes == 0:
+		bytes = DefaultCacheBytes
+	case bytes < 0:
+		bytes = 0 // unbounded
+	}
+	timeout := opts.RequestTimeout
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		cache:   newCache(entries, bytes),
+		group:   newFlightGroup(),
+		stats:   obs.NewServeCollector(),
+		diag:    obs.NewDiagnostics(),
+		workers: opts.Workers,
+		timeout: timeout,
+		mux:     http.NewServeMux(),
+	}
+	s.observer = opts.Observer
+	if s.observer == nil {
+		s.observer = s.diag
+	}
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain puts the server into draining mode: /healthz flips to 503 (so
+// load balancers stop routing here) and new solve work is rejected with
+// 503, while requests already in flight run to completion. Pair it with
+// http.Server.Shutdown for a graceful SIGTERM path.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats returns a snapshot of the serve-layer counters.
+func (s *Server) Stats() obs.ServeStats { return s.stats.Snapshot() }
+
+// errorBody is the uniform JSON error envelope of every non-2xx response.
+type errorBody struct {
+	// Code echoes the HTTP status.
+	Code int `json:"code"`
+	// Message is the human-readable error.
+	Message string `json:"message"`
+	// Field names the offending request field on validation errors.
+	Field string `json:"field,omitempty"`
+}
+
+// PointResult is the JSON answer for one solved parameter point: the solve
+// response body, and one element of a sweep response. Exactly one of
+// Metrics and Error is set.
+type PointResult struct {
+	// Key is the canonical cache key of the solved configuration.
+	Key string `json:"key,omitempty"`
+	// Cached reports that the answer came from the solve cache.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that the request shared another request's solve.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Metrics are the solved steady-state metrics (the same JSON object
+	// `bgperf solve -json` prints).
+	Metrics *core.Metrics `json:"metrics,omitempty"`
+	// Error describes a failed point.
+	Error *errorBody `json:"error,omitempty"`
+}
+
+// SweepResponse is the JSON body answering POST /v1/sweep, index-aligned
+// with the request points.
+type SweepResponse struct {
+	// Results holds one PointResult per requested point, in order.
+	Results []PointResult `json:"results"`
+}
+
+// writeJSON writes v as an indented JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes the uniform error envelope — the same shape as a
+// PointResult carrying only its error, so every failure body on every
+// endpoint reads {"error": {code, message, field?}}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	res := errResult("", err)
+	finishResult(&res, status)
+	writeJSON(w, status, res)
+}
+
+// statusFor maps solver errors to HTTP statuses: validation failures are
+// the caller's fault (400), saturated models are semantically unsolvable
+// (422), expired deadlines are 504, anything else is a 500.
+func statusFor(err error) int {
+	var verr *core.ValidationError
+	switch {
+	case errors.As(err, &verr):
+		return http.StatusBadRequest
+	case errors.Is(err, qbd.ErrUnstable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// reject handles the draining gate; it reports true when the request was
+// refused.
+func (s *Server) reject(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.stats.Rejected()
+	writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not accepting new work"))
+	return true
+}
+
+// solvePoint answers one parameter point through the cache → coalescer →
+// solver pipeline. It never panics on user input; all failures come back as
+// a PointResult with Error set and the matching HTTP status.
+func (s *Server) solvePoint(ctx context.Context, req SolveRequest) (PointResult, int) {
+	s.stats.Request()
+	cfg, err := req.Config()
+	if err != nil {
+		return errResult("", err), statusFor(err)
+	}
+	key, err := core.CacheKey(cfg)
+	if err != nil {
+		return errResult("", err), statusFor(err)
+	}
+	if m, ok := s.cache.Get(key); ok {
+		s.stats.CacheHit()
+		return PointResult{Key: key, Cached: true, Metrics: &m}, http.StatusOK
+	}
+	s.stats.CacheMiss()
+	if err := ctx.Err(); err != nil {
+		return errResult(key, deadlineErr(err)), http.StatusGatewayTimeout
+	}
+	m, err, coalesced := s.group.Do(ctx, key, func() (core.Metrics, error) {
+		if s.solveBarrier != nil {
+			s.solveBarrier()
+		}
+		// Double-check the cache under leadership: between this request's
+		// miss and its winning the coalescing group, an earlier leader for
+		// the same key may have completed and populated the entry.
+		if m, ok := s.cache.Get(key); ok {
+			s.stats.CacheHit()
+			return m, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return core.Metrics{}, deadlineErr(err)
+		}
+		s.stats.SolveStart()
+		t0 := time.Now()
+		model, err := core.NewModel(cfg)
+		if err != nil {
+			s.stats.SolveDone(time.Since(t0))
+			return core.Metrics{}, err
+		}
+		sol, err := model.SolveObserved(s.observer)
+		s.stats.SolveDone(time.Since(t0))
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		s.cache.Add(key, sol.Metrics)
+		return sol.Metrics, nil
+	})
+	if coalesced {
+		s.stats.Coalesced()
+	}
+	if err != nil {
+		return errResult(key, err), statusFor(err)
+	}
+	return PointResult{Key: key, Coalesced: coalesced, Metrics: &m}, http.StatusOK
+}
+
+// errResult wraps err into a PointResult, naming the offending field for
+// validation failures; the status code is stamped later by finishResult.
+func errResult(key string, err error) PointResult {
+	body := errorBody{Message: err.Error()}
+	var verr *core.ValidationError
+	if errors.As(err, &verr) {
+		body.Field = verr.Field
+	}
+	return PointResult{Key: key, Error: &body}
+}
+
+// deadlineErr wraps a context error so the response explains whose clock
+// expired while keeping errors.Is matchability.
+func deadlineErr(err error) error {
+	return fmt.Errorf("serve: request deadline expired before the solve ran: %w", err)
+}
+
+// finishResult stamps the final status code into an error result's body.
+func finishResult(r *PointResult, status int) {
+	if r.Error != nil {
+		r.Error.Code = status
+	}
+}
+
+// handleSolve answers POST /v1/solve: one parameter point.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	if s.reject(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			core.NewValidationError(core.ErrConfig, "body", "malformed request JSON: %v", err))
+		return
+	}
+	res, status := s.solvePoint(ctx, req)
+	finishResult(&res, status)
+	writeJSON(w, status, res)
+}
+
+// handleSweep answers POST /v1/sweep: a batch of points fanned out over the
+// worker pool. Point-level failures are embedded per result; the HTTP
+// status is 200 whenever the sweep itself was well-formed.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	if s.reject(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			core.NewValidationError(core.ErrConfig, "body", "malformed request JSON: %v", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest,
+			core.NewValidationError(core.ErrConfig, "points", "sweep needs at least one point"))
+		return
+	}
+	if len(req.Points) > maxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			core.NewValidationError(core.ErrConfig, "points", "sweep of %d points exceeds the %d-point bound", len(req.Points), maxSweepPoints))
+		return
+	}
+	results := make([]PointResult, len(req.Points))
+	par.ForCtx(ctx, s.workers, len(req.Points), func(i int) error {
+		res, status := s.solvePoint(ctx, req.Points[i])
+		finishResult(&res, status)
+		results[i] = res
+		return nil
+	})
+	writeJSON(w, http.StatusOK, SweepResponse{Results: results})
+}
+
+// handleHealthz answers GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metricsSnapshot is the JSON body of GET /metrics: the serve-layer
+// counters plus the solver diagnostics report.
+type metricsSnapshot struct {
+	// Serve is the serving-layer section: cache, coalescing, latency.
+	Serve obs.ServeStats `json:"serve"`
+	// Diag is the solver diagnostics report (stage timings, convergence,
+	// workspace pools) aggregated over every solve the daemon performed.
+	Diag obs.Report `json:"diag"`
+}
+
+// handleMetrics answers GET /metrics with the combined JSON snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsSnapshot{
+		Serve: s.stats.Snapshot(),
+		Diag:  s.diag.Report(),
+	})
+}

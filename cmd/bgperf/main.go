@@ -11,12 +11,14 @@
 //	bgperf acf   -workload useraccounts -lags 50             # analytic ACF
 //	bgperf multi -workload softdev -util 0.2 -p1 0.25 -p2 0.5 # two BG priorities
 //	bgperf transient -workload email -util 0.1 -horizon 500  # warmup trajectory
+//	bgperf check -n 64 -seed 1                               # solver/simulator conformance
 //
 // Workloads: email, softdev, useraccounts (the paper's trace MMPPs), plus
 // email-lowacf, email-ipp, poisson.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"bgperf/internal/arrival"
+	"bgperf/internal/check"
 	"bgperf/internal/core"
 	"bgperf/internal/multiclass"
 	"bgperf/internal/obs"
@@ -43,7 +46,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (solve | sim | trace | fit | acf | multi | transient)")
+		return fmt.Errorf("missing subcommand (solve | sim | trace | fit | acf | multi | transient | check)")
 	}
 	switch args[0] {
 	case "solve":
@@ -60,8 +63,10 @@ func run(args []string, out io.Writer) error {
 		return cmdMulti(args[1:], out)
 	case "transient":
 		return cmdTransient(args[1:], out)
+	case "check":
+		return cmdCheck(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want solve | sim | trace | fit | acf | multi | transient)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want solve | sim | trace | fit | acf | multi | transient | check)", args[0])
 	}
 }
 
@@ -525,6 +530,69 @@ func cmdTransient(args []string, out io.Writer) error {
 	for _, pt := range pts {
 		fmt.Fprintf(out, "%10.4g %10.6g %10.6g %10.6g %10.6g\n",
 			pt.Time, pt.QLenFG, pt.QLenBG, pt.ProbEmpty, pt.UtilBG)
+	}
+	return nil
+}
+
+// cmdCheck runs the cross-model conformance harness (internal/check): random
+// valid configurations solved analytically and simulated with replications,
+// with CI-calibrated agreement on the paper's four metrics, structural
+// invariants at solver precision, and exact-oracle limit collapses. A
+// failing run prints every violation and exits nonzero.
+func cmdCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 64, "number of random configurations to check")
+		seed     = fs.Int64("seed", 1, "configuration-generator seed (failures reproduce from seed and case index)")
+		tol      = fs.Float64("tol", 0.02, "deterministic part of the agreement band, added to 4x the replication CI half-width")
+		reps     = fs.Int("reps", 6, "simulation replications per configuration")
+		workers  = fs.Int("workers", 0, "max goroutines for replications (0 = all cores)")
+		asJSON   = fs.Bool("json", false, "emit the full conformance report as JSON")
+		diagPath = fs.String("diag", "", "write a JSON diagnostics report (solver stages, sim event counters) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("n must be >= 1")
+	}
+	if *reps < 2 {
+		return fmt.Errorf("reps must be >= 2 (confidence intervals need replication)")
+	}
+	var diag *obs.Diagnostics
+	if *diagPath != "" {
+		diag = obs.NewDiagnostics()
+	}
+	rep, err := check.Run(context.Background(), check.Options{
+		N: *n, Seed: *seed, Tol: *tol, Reps: *reps, Workers: *workers, Observer: diag,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(out, rep.Summary())
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "violation: %s\n", v)
+		}
+		for _, d := range rep.Disagreements {
+			fmt.Fprintf(out, "disagreement: %s %s analytic %.6g vs sim %.6g (diff %.3g, allowed %.3g)\n",
+				d.Case, d.Metric, d.Analytic, d.Sim, d.Diff, d.Allowed)
+		}
+	}
+	if diag != nil {
+		if err := writeDiag(*diagPath, diag, out); err != nil {
+			return err
+		}
+	}
+	if !rep.OK() {
+		return fmt.Errorf("conformance check failed: %d violations, %d disagreements",
+			len(rep.Violations), len(rep.Disagreements))
 	}
 	return nil
 }

@@ -266,3 +266,47 @@ func TestSolveTailOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckCommand(t *testing.T) {
+	out, err := runCmd(t, "check", "-n", "4", "-seed", "1", "-reps", "4")
+	if err != nil {
+		t.Fatalf("conformance check failed: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "PASS:") {
+		t.Errorf("check output missing PASS summary:\n%s", out)
+	}
+
+	jsonOut, err := runCmd(t, "check", "-n", "2", "-seed", "3", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Cases       int `json:"cases"`
+		Comparisons int `json:"comparisons"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("invalid check JSON: %v", err)
+	}
+	if rep.Cases != 2 || rep.Comparisons != 8 {
+		t.Errorf("check JSON reports %d cases, %d comparisons; want 2, 8", rep.Cases, rep.Comparisons)
+	}
+
+	diagPath := filepath.Join(t.TempDir(), "check-diag.json")
+	out, err = runCmd(t, "check", "-n", "1", "-diag", diagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sim runs") {
+		t.Errorf("check diagnostics summary missing sim counters:\n%s", out)
+	}
+	if _, err := os.Stat(diagPath); err != nil {
+		t.Errorf("diagnostics file not written: %v", err)
+	}
+
+	if _, err := runCmd(t, "check", "-n", "0"); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := runCmd(t, "check", "-reps", "1"); err == nil {
+		t.Error("reps=1 accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package check is the cross-model conformance harness: it generates random
+// valid model configurations and verifies that the repository's three
+// independent implementations of the paper's model — the matrix-geometric
+// analytic solver (internal/core), the event-driven simulator (internal/sim),
+// and the closed-form reference queues (internal/refqueue) — agree with each
+// other and with exact structural invariants.
+//
+// Three layers of checking, in increasing strictness:
+//
+//   - Statistical agreement: for every generated configuration the analytic
+//     solution of the four paper metrics (QLenFG, WaitPFG, CompBG, QLenBG)
+//     must fall inside a confidence-calibrated band around the replicated
+//     simulation estimate.
+//   - Structural invariants, at numerical precision, on every solved point:
+//     stationary mass is 1, state-kind probabilities partition, the busy
+//     probability equals the offered load ρ = λ/µ, foreground throughput
+//     equals the arrival rate, BG flow balances (throughput = generation −
+//     drops), CompBG is the surviving-flow fraction, and both classes obey
+//     Little's law.
+//   - Exact oracles at limits: p → 0 collapses to an MMPP/M/1 queue whose
+//     solution must be invariant to the pruned BG parameters and, with
+//     Poisson or equal-rate-MMPP input, must match refqueue's M/M/1 closed
+//     forms to 1e-9; QLenFG and CompBG must be monotone in p and X.
+//
+// The harness runs as `bgperf check`, as package tests, and as native fuzz
+// targets (FuzzSolveVsSim, FuzzCacheKeyRoundTrip).
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"bgperf/internal/core"
+)
+
+// invariantTol is the absolute tolerance for structural identities that hold
+// exactly in the model and are limited only by solver round-off.
+const invariantTol = 1e-9
+
+// Violation records one failed conformance check.
+type Violation struct {
+	// Check names the violated property (e.g. "littles-law-fg").
+	Check string `json:"check"`
+	// Case identifies the configuration the check ran on.
+	Case string `json:"case"`
+	// Detail is a human-readable account of the failure.
+	Detail string `json:"detail"`
+	// Got and Want are the two sides of the violated identity; Diff is
+	// |Got−Want|.
+	Got  float64 `json:"got"`
+	Want float64 `json:"want"`
+	Diff float64 `json:"diff"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s]: %s (got %.12g, want %.12g, diff %.3g)",
+		v.Check, v.Case, v.Detail, v.Got, v.Want, v.Diff)
+}
+
+// violations collects failures with a shared case label.
+type violations struct {
+	caseName string
+	list     []Violation
+}
+
+func (vs *violations) add(check, detail string, got, want, tol float64) {
+	diff := math.Abs(got - want)
+	if diff <= tol && !math.IsNaN(got) && !math.IsNaN(want) {
+		return
+	}
+	vs.list = append(vs.list, Violation{
+		Check: check, Case: vs.caseName, Detail: detail,
+		Got: got, Want: want, Diff: diff,
+	})
+}
+
+func (vs *violations) assert(check, detail string, ok bool) {
+	if ok {
+		return
+	}
+	vs.list = append(vs.list, Violation{Check: check, Case: vs.caseName, Detail: detail})
+}
+
+// SolvedPoint verifies every structural invariant of one analytic solution
+// and returns the violations (nil when the point conforms). The identities
+// hold exactly in the model; tolerances only absorb floating-point round-off
+// from the matrix-geometric solve.
+func SolvedPoint(caseName string, model *core.Model, sol *core.Solution) []Violation {
+	vs := &violations{caseName: caseName}
+	m := sol.Metrics
+	cfg := model.Config()
+
+	// Stationary distribution: total mass 1, state kinds partition it.
+	vs.add("total-mass", "stationary probabilities must sum to 1",
+		sol.TotalMass(), 1, invariantTol)
+	kindSum := sol.KindProb(core.KindEmpty) + sol.KindProb(core.KindFG) +
+		sol.KindProb(core.KindBG) + sol.KindProb(core.KindIdle)
+	vs.add("kind-partition", "empty/fg/bg/idle-wait probabilities must partition the mass",
+		kindSum, 1, invariantTol)
+	vs.add("kind-metrics", "metric probabilities must partition the mass",
+		m.ProbEmpty+m.UtilFG+m.UtilBG+m.ProbIdleWait, 1, invariantTol)
+
+	// Rate identities. In steady state the server is FG-busy exactly a
+	// fraction ρ = λ/µ of the time, and the FG completion rate equals the
+	// arrival rate (nothing is dropped or lost in the FG class).
+	lambda := cfg.Arrival.Rate()
+	vs.add("busy-probability", "P(FG in service) must equal the offered load λ/µ",
+		m.UtilFG, model.FGUtilization(), invariantTol)
+	vs.add("fg-throughput", "FG completion rate must equal the arrival rate",
+		m.ThroughputFG, lambda, invariantTol)
+
+	// BG flow balance: completions are exactly the generated jobs that were
+	// not dropped, and CompBG is that surviving fraction.
+	vs.add("bg-flow-balance", "BG throughput must equal generation minus drops",
+		m.ThroughputBG, m.GenRateBG-m.DropRateBG, invariantTol)
+	if m.GenRateBG > 0 {
+		vs.add("compBG-flow", "CompBG must be the non-dropped fraction of generated flow",
+			m.CompBG, 1-m.DropRateBG/m.GenRateBG, invariantTol)
+	} else {
+		vs.add("compBG-degenerate", "CompBG must be 1 when no BG jobs are generated",
+			m.CompBG, 1, 0)
+	}
+
+	// Little's law for both classes. The FG population sees arrival rate λ;
+	// the BG population sees the admission rate (= completion rate in steady
+	// state).
+	vs.add("littles-law-fg", "QLenFG must equal RespTimeFG × FG throughput",
+		m.RespTimeFG*m.ThroughputFG, m.QLenFG, invariantTol)
+	vs.add("littles-law-bg", "QLenBG must equal RespTimeBG × BG throughput",
+		m.RespTimeBG*m.ThroughputBG, m.QLenBG, invariantTol)
+
+	// Ranges: probabilities and ratios live in [0,1], queue lengths and
+	// rates are nonnegative and finite, and the BG queue fits its buffer
+	// plus the job in service.
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"CompBG", m.CompBG}, {"WaitPFG", m.WaitPFG}, {"UtilFG", m.UtilFG},
+		{"UtilBG", m.UtilBG}, {"ProbIdleWait", m.ProbIdleWait}, {"ProbEmpty", m.ProbEmpty},
+	} {
+		vs.assert("probability-range", fmt.Sprintf("%s = %g must lie in [0,1]", p.name, p.v),
+			p.v >= -invariantTol && p.v <= 1+invariantTol)
+	}
+	for _, n := range []struct {
+		name string
+		v    float64
+	}{
+		{"QLenFG", m.QLenFG}, {"QLenBG", m.QLenBG}, {"ThroughputFG", m.ThroughputFG},
+		{"ThroughputBG", m.ThroughputBG}, {"GenRateBG", m.GenRateBG},
+		{"DropRateBG", m.DropRateBG}, {"RespTimeFG", m.RespTimeFG}, {"RespTimeBG", m.RespTimeBG},
+	} {
+		vs.assert("nonnegative-finite", fmt.Sprintf("%s = %g must be nonnegative and finite", n.name, n.v),
+			n.v >= -invariantTol && !math.IsInf(n.v, 0) && !math.IsNaN(n.v))
+	}
+	vs.assert("bg-buffer-bound",
+		fmt.Sprintf("QLenBG = %g must not exceed buffer+1 = %d", m.QLenBG, cfg.BGBuffer+1),
+		m.QLenBG <= float64(cfg.BGBuffer)+1+invariantTol)
+
+	return vs.list
+}

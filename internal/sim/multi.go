@@ -104,9 +104,18 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Stream seeds derive from cfg.Seed via SplitMix64 exactly as in Run
+	// (see seed.go). The first three stream indices belong to the
+	// single-class simulator; skipping them keeps a RunMulti at some seed
+	// from sharing randomness with a Run at the same seed (the two are
+	// compared against each other in cross-checks).
+	seeds := newSeedStream(cfg.Seed)
+	for i := 0; i < 3; i++ {
+		seeds.next()
+	}
 	var (
-		rng     = rand.New(rand.NewSource(cfg.Seed ^ 0x2c1a55))
-		sampler = arrival.NewSampler(cfg.Arrival, cfg.Seed)
+		rng     = rand.New(rand.NewSource(seeds.next()))
+		sampler = arrival.NewSampler(cfg.Arrival, seeds.next())
 
 		now        float64
 		state      = mIdle

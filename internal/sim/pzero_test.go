@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+)
+
+// BGProb = 0 edge-case regression tests. With no background work the model
+// degenerates to an MMPP/M/1-style queue: no BG job is ever generated, so
+// every BG metric must be exactly zero on both sides, and CompBG must report
+// the 0/0 completion ratio as 1 (all of nothing completes) rather than NaN —
+// on the simulator, on the replication aggregate, and on the analytic
+// solver. A sign-swapped guard (CompBG=0, or an unguarded 0/0) would
+// silently poison sweeps over p that include the p=0 baseline column.
+
+func TestBGProbZeroSimAnalyticParity(t *testing.T) {
+	m, err := arrival.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, buffer := range []int{0, 3} {
+		simRes, err := Run(Config{
+			Arrival: m, ServiceRate: 1, BGProb: 0, BGBuffer: buffer,
+			IdleRate: 1, Seed: 9, WarmupTime: 500, MeasureTime: 50000,
+		})
+		if err != nil {
+			t.Fatalf("buffer %d: %v", buffer, err)
+		}
+		model, err := core.NewModel(core.Config{
+			Arrival: m, ServiceRate: 1, BGProb: 0, BGBuffer: buffer, IdleRate: 1,
+		})
+		if err != nil {
+			t.Fatalf("buffer %d: %v", buffer, err)
+		}
+		sol, err := model.Solve()
+		if err != nil {
+			t.Fatalf("buffer %d: %v", buffer, err)
+		}
+		for _, side := range []struct {
+			name string
+			m    core.Metrics
+		}{{"sim", simRes.Metrics}, {"analytic", sol.Metrics}} {
+			if side.m.CompBG != 1 {
+				t.Errorf("buffer %d: %s CompBG = %v at p=0, want exactly 1", buffer, side.name, side.m.CompBG)
+			}
+			for _, z := range []struct {
+				name string
+				v    float64
+			}{
+				{"QLenBG", side.m.QLenBG}, {"UtilBG", side.m.UtilBG},
+				{"ThroughputBG", side.m.ThroughputBG}, {"GenRateBG", side.m.GenRateBG},
+				{"DropRateBG", side.m.DropRateBG}, {"RespTimeBG", side.m.RespTimeBG},
+				{"WaitPFG", side.m.WaitPFG}, {"ProbIdleWait", side.m.ProbIdleWait},
+			} {
+				if z.v != 0 {
+					t.Errorf("buffer %d: %s %s = %v at p=0, want exactly 0", buffer, side.name, z.name, z.v)
+				}
+			}
+			for _, f := range []struct {
+				name string
+				v    float64
+			}{
+				{"QLenFG", side.m.QLenFG}, {"UtilFG", side.m.UtilFG},
+				{"ProbEmpty", side.m.ProbEmpty}, {"RespTimeFG", side.m.RespTimeFG},
+				{"ThroughputFG", side.m.ThroughputFG},
+			} {
+				if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+					t.Errorf("buffer %d: %s %s = %v at p=0", buffer, side.name, f.name, f.v)
+				}
+			}
+		}
+		if c := simRes.Counters; c.GeneratedBG != 0 || c.AdmittedBG != 0 ||
+			c.DroppedBG != 0 || c.CompletedBG != 0 || c.IdleExpirations != 0 {
+			t.Errorf("buffer %d: BG events fired at p=0: %+v", buffer, c)
+		}
+	}
+}
+
+// TestBGProbZeroReplicationAggregate pins that the replication aggregate
+// inherits the guarded values instead of averaging NaNs: CompBG stays
+// exactly 1 and RespTimeBG exactly 0 across replications with zero admitted
+// BG jobs.
+func TestBGProbZeroReplicationAggregate(t *testing.T) {
+	m, err := arrival.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := RunReplications(Config{
+		Arrival: m, ServiceRate: 1, BGProb: 0, BGBuffer: 3,
+		IdleRate: 1, Seed: 5, WarmupTime: 200, MeasureTime: 10000,
+	}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Mean.CompBG != 1 {
+		t.Errorf("aggregate CompBG = %v at p=0, want exactly 1", agg.Mean.CompBG)
+	}
+	if agg.Mean.RespTimeBG != 0 || agg.Mean.QLenBG != 0 {
+		t.Errorf("aggregate BG metrics nonzero at p=0: RespTimeBG %v, QLenBG %v",
+			agg.Mean.RespTimeBG, agg.Mean.QLenBG)
+	}
+	if math.IsNaN(agg.QLenBGHalf) {
+		t.Errorf("QLenBGHalf is NaN at p=0")
+	}
+}

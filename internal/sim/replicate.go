@@ -34,9 +34,13 @@ type ReplicationResult struct {
 
 // RunReplications simulates reps independent replications of cfg across a
 // bounded pool of at most workers goroutines (0: all cores) and aggregates
-// them. Replication r runs with its own rand.Rand stream derived from
-// cfg.Seed + r, so replication 0 reproduces Run(cfg) exactly and the
-// aggregate is bit-identical for every worker count.
+// them. Replication r runs with seed cfg.Seed + r, so replication 0
+// reproduces Run(cfg) exactly and the aggregate is bit-identical for every
+// worker count. Within each replication the event, arrival, and service
+// random streams are derived from the replication seed through SplitMix64
+// (see seed.go), which keeps every stream of every replication pairwise
+// distinct — consecutive-integer replication seeds cannot collide into each
+// other's streams.
 func RunReplications(cfg Config, reps, workers int) (*ReplicationResult, error) {
 	return RunReplicationsOpts(nil, cfg, reps, workers, nil)
 }

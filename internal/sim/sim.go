@@ -204,9 +204,14 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Every random stream of the run gets its own SplitMix64-derived seed
+	// (see seed.go): replication studies map replication r to Seed + r, and
+	// the avalanche mixer guarantees the event/arrival/service streams of
+	// all replications stay pairwise distinct.
+	seeds := newSeedStream(cfg.Seed)
 	var (
-		rng     = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-		sampler = arrival.NewSampler(cfg.Arrival, cfg.Seed)
+		rng     = rand.New(rand.NewSource(seeds.next()))
+		sampler = arrival.NewSampler(cfg.Arrival, seeds.next())
 
 		now        float64
 		state      = stateIdle
@@ -239,7 +244,7 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 	}
 	var svcSampler *arrival.Sampler
 	if cfg.ServiceMAP != nil {
-		svcSampler = arrival.NewSampler(cfg.ServiceMAP, cfg.Seed^0x5e41ce)
+		svcSampler = arrival.NewSampler(cfg.ServiceMAP, seeds.next())
 	}
 	drawService := func() float64 {
 		switch {

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/core"
+	"bgperf/internal/phtype"
+)
+
+// Warm-up boundary accounting regression tests.
+//
+// The measurement window is [measStart, measEnd) with measStart =
+// WarmupTime: event counters (ArrivalsFG, AdmittedBG, DroppedBG,
+// IdleExpirations, …) and the WaitPFG estimator count exactly the events
+// with timestamp in the window, and queue-length integrals clip every
+// inter-event interval to the window, so a job in service straddling
+// measStart contributes only its post-warmup area.
+//
+// The tests pin this via exact window additivity: the event sequence of a
+// run depends only on the seed, never on the window, so a run measuring
+// [0, W) and a warm-started run measuring [W, W+T) (warm-up W) must
+// together account for exactly what a single run measuring [0, W+T) sees —
+// counter by counter, and area by area to float round-off. Any gating bug
+// (an event counted during warm-up, a straddling interval double-counted or
+// dropped, an off-by-one at a window edge) breaks the partition.
+
+func addCounters(a, b Counters) Counters {
+	a.ArrivalsFG += b.ArrivalsFG
+	a.CompletedFG += b.CompletedFG
+	a.DelayedFG += b.DelayedFG
+	a.GeneratedBG += b.GeneratedBG
+	a.AdmittedBG += b.AdmittedBG
+	a.DroppedBG += b.DroppedBG
+	a.CompletedBG += b.CompletedBG
+	a.IdleExpirations += b.IdleExpirations
+	return a
+}
+
+func TestWarmupWindowAdditivity(t *testing.T) {
+	m, err := arrival.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := phtype.FitTwoMoment(1.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idlePH, err := phtype.FitTwoMoment(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcMAP, err := arrival.MMPP2(0.1, 0.2, 1.5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"exp", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1}},
+		{"ph-service", Config{Arrival: m, Service: ph, BGProb: 0.4, BGBuffer: 3, IdleRate: 2}},
+		{"map-service", Config{Arrival: m, ServiceMAP: svcMAP, BGProb: 0.5, BGBuffer: 2, IdleRate: 1}},
+		{"ph-idle", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleWait: idlePH}},
+		{"det-idle", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1, IdleDist: IdleDeterministic}},
+		{"per-period", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1, IdlePolicy: core.IdleWaitPerPeriod}},
+	}
+	// Non-round window edges so batch boundaries and event times never
+	// align by construction.
+	const W, T = 3333.3, 7777.7
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				warm := tc.cfg
+				warm.Seed = seed
+				head, mid, full := warm, warm, warm
+				head.WarmupTime, head.MeasureTime = 0, W
+				mid.WarmupTime, mid.MeasureTime = W, T
+				full.WarmupTime, full.MeasureTime = 0, W+T
+				rHead, err := Run(head)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rMid, err := Run(mid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rFull, err := Run(full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum := addCounters(rHead.Counters, rMid.Counters); sum != rFull.Counters {
+					t.Errorf("seed %d: counters do not partition at the warm-up boundary:\n  [0,W)+[W,W+T) = %+v\n  [0,W+T)       = %+v",
+						seed, sum, rFull.Counters)
+				}
+				areas := []struct {
+					name             string
+					head, mid, whole float64
+				}{
+					{"QLenFG", rHead.Metrics.QLenFG, rMid.Metrics.QLenFG, rFull.Metrics.QLenFG},
+					{"QLenBG", rHead.Metrics.QLenBG, rMid.Metrics.QLenBG, rFull.Metrics.QLenBG},
+					{"UtilFG", rHead.Metrics.UtilFG, rMid.Metrics.UtilFG, rFull.Metrics.UtilFG},
+					{"UtilBG", rHead.Metrics.UtilBG, rMid.Metrics.UtilBG, rFull.Metrics.UtilBG},
+					{"ProbIdleWait", rHead.Metrics.ProbIdleWait, rMid.Metrics.ProbIdleWait, rFull.Metrics.ProbIdleWait},
+					{"ProbEmpty", rHead.Metrics.ProbEmpty, rMid.Metrics.ProbEmpty, rFull.Metrics.ProbEmpty},
+				}
+				for _, a := range areas {
+					if d := math.Abs(a.head*W+a.mid*T-a.whole*(W+T)) / (W + T); d > 1e-9 {
+						t.Errorf("seed %d: %s area leaks %g across the warm-up boundary", seed, a.name, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWarmupWindowAdditivityMulti is the same partition check for the
+// two-priority simulator.
+func TestWarmupWindowAdditivityMulti(t *testing.T) {
+	m, err := arrival.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MultiConfig{Arrival: m, ServiceRate: 1, BG1Prob: 0.3, BG2Prob: 0.4,
+		BG1Buffer: 3, BG2Buffer: 4, IdleRate: 1}
+	const W, T = 3333.3, 7777.7
+	for seed := int64(1); seed <= 5; seed++ {
+		base.Seed = seed
+		head, mid, full := base, base, base
+		head.WarmupTime, head.MeasureTime = 0, W
+		mid.WarmupTime, mid.MeasureTime = W, T
+		full.WarmupTime, full.MeasureTime = 0, W+T
+		rHead, err := RunMulti(head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rMid, err := RunMulti(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rFull, err := RunMulti(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := rHead.Counters
+		sum.ArrivalsFG += rMid.Counters.ArrivalsFG
+		sum.CompletedFG += rMid.Counters.CompletedFG
+		sum.DelayedFG += rMid.Counters.DelayedFG
+		sum.GeneratedBG1 += rMid.Counters.GeneratedBG1
+		sum.GeneratedBG2 += rMid.Counters.GeneratedBG2
+		sum.DroppedBG1 += rMid.Counters.DroppedBG1
+		sum.DroppedBG2 += rMid.Counters.DroppedBG2
+		sum.CompletedBG1 += rMid.Counters.CompletedBG1
+		sum.CompletedBG2 += rMid.Counters.CompletedBG2
+		if sum != rFull.Counters {
+			t.Errorf("seed %d: multiclass counters do not partition at the warm-up boundary:\n  sum  %+v\n  full %+v",
+				seed, sum, rFull.Counters)
+		}
+		for _, a := range [][3]float64{
+			{rHead.QLenFG, rMid.QLenFG, rFull.QLenFG},
+			{rHead.QLenBG1, rMid.QLenBG1, rFull.QLenBG1},
+			{rHead.QLenBG2, rMid.QLenBG2, rFull.QLenBG2},
+		} {
+			if d := math.Abs(a[0]*W+a[1]*T-a[2]*(W+T)) / (W + T); d > 1e-9 {
+				t.Errorf("seed %d: multiclass area leaks %g across the warm-up boundary", seed, d)
+			}
+		}
+	}
+}
+
+// TestWarmupLongVsWarmStarted checks the statistical face of the same
+// property: a run with a long warm-up must agree with a "warm-started" run
+// over the identical measurement window — here literally the same window
+// [W, W+T) measured by a run that burned a warm-up of W, versus the
+// tail-window accounting of the full run. With identical seeds the two are
+// the same sample path, so the in-window estimates must agree exactly, not
+// just statistically.
+func TestWarmupLongVsWarmStarted(t *testing.T) {
+	m, err := arrival.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4,
+		IdleRate: 1, Seed: 77, WarmupTime: 50000, MeasureTime: 100000}
+	long, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifting the warm-up/measure split while keeping the total horizon
+	// and the overlap window fixed must leave in-window rates consistent:
+	// compare the long-warm-up run against the additivity reconstruction.
+	head := cfg
+	head.WarmupTime, head.MeasureTime = 0, cfg.WarmupTime
+	rHead, err := Run(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cfg
+	full.WarmupTime, full.MeasureTime = 0, cfg.WarmupTime+cfg.MeasureTime
+	rFull, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := addCounters(rHead.Counters, long.Counters), rFull.Counters; got != want {
+		t.Errorf("long-warm-up window is not the tail of the full run:\n  head+tail %+v\n  full      %+v", got, want)
+	}
+	wantArea := rFull.Metrics.QLenFG*(cfg.WarmupTime+cfg.MeasureTime) - rHead.Metrics.QLenFG*cfg.WarmupTime
+	if d := math.Abs(long.Metrics.QLenFG*cfg.MeasureTime-wantArea) / wantArea; d > 1e-12 {
+		t.Errorf("straddling jobs leak area across measStart: rel diff %g", d)
+	}
+}

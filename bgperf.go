@@ -151,7 +151,12 @@ func NewModel(cfg Config, opts ...Option) (*Model, error) {
 	if err := ctxErr(o.ctx); err != nil {
 		return nil, err
 	}
-	return core.NewModel(cfg)
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Tune(o.tuning())
+	return m, nil
 }
 
 // Solve builds and solves the model in one call. With WithObserver it
@@ -170,6 +175,7 @@ func Solve(cfg Config, opts ...Option) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Tune(o.tuning())
 	return m.SolveObserved(o.observer)
 }
 
@@ -219,6 +225,7 @@ func SolveMulti(cfg MultiConfig, opts ...Option) (*MultiSolution, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Tune(o.tuning())
 	return m.SolveObserved(o.observer)
 }
 

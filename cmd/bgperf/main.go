@@ -32,6 +32,7 @@ import (
 	"bgperf/internal/multiclass"
 	"bgperf/internal/obs"
 	"bgperf/internal/phtype"
+	"bgperf/internal/qbd"
 	"bgperf/internal/sim"
 	"bgperf/internal/trace"
 	"bgperf/internal/workload"
@@ -211,7 +212,12 @@ func cmdSolve(args []string, out io.Writer) error {
 	mf := addModelFlags(fs)
 	asJSON := fs.Bool("json", false, "emit the metrics as JSON")
 	diagPath := fs.String("diag", "", "write a JSON diagnostics report (stage timings, convergence trace, workspace stats) to this file")
+	schemeName := fs.String("scheme", "cyclic", "R iteration scheme: cyclic (default) or logarithmic (cross-check); metrics agree to 1e-12")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := qbd.ParseRScheme(*schemeName)
+	if err != nil {
 		return err
 	}
 	cfg, err := mf.build()
@@ -222,6 +228,7 @@ func cmdSolve(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	model.Tune(qbd.Tuning{Scheme: scheme})
 	var diag *obs.Diagnostics
 	if *diagPath != "" {
 		diag = obs.NewDiagnostics()

@@ -1,0 +1,70 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"bgperf/internal/core"
+	"bgperf/internal/qbd"
+)
+
+// TestSchemeAgreementOnGeneratedConfigs cross-checks the default
+// cyclic-reduction R iteration against logarithmic reduction on every
+// configuration the conformance generator draws: the two R matrices (and the
+// headline metrics assembled from them) must agree to 1e-12 element-wise.
+// This is the package-level pin of the tentpole claim that the schemes are
+// interchangeable on real model chains, not just on the synthetic processes
+// of the qbd-level tests.
+func TestSchemeAgreementOnGeneratedConfigs(t *testing.T) {
+	const (
+		cases = 32
+		tol   = 1e-12
+	)
+	gen := NewGenerator(1)
+	for i := 0; i < cases; i++ {
+		c := gen.Next()
+		t.Run(c.Name, func(t *testing.T) {
+			solve := func(s qbd.RScheme) *core.Solution {
+				m, err := core.NewModel(c.Cfg)
+				if err != nil {
+					t.Fatalf("NewModel: %v", err)
+				}
+				m.Tune(qbd.Tuning{Scheme: s})
+				sol, err := m.Solve()
+				if err != nil {
+					t.Fatalf("Solve(%v): %v", s, err)
+				}
+				return sol
+			}
+			cr := solve(qbd.RSchemeCyclic)
+			lr := solve(qbd.RSchemeLogarithmic)
+
+			rCR, rLR := cr.QBD().R, lr.QBD().R
+			if rCR.Rows() != rLR.Rows() || rCR.Cols() != rLR.Cols() {
+				t.Fatalf("R shape mismatch: %dx%d vs %dx%d", rCR.Rows(), rCR.Cols(), rLR.Rows(), rLR.Cols())
+			}
+			for r := 0; r < rCR.Rows(); r++ {
+				for col := 0; col < rCR.Cols(); col++ {
+					if d := math.Abs(rCR.At(r, col) - rLR.At(r, col)); d > tol {
+						t.Errorf("R(%d,%d): |cyclic−logarithmic| = %g > %g", r, col, d, tol)
+					}
+				}
+			}
+
+			metrics := []struct {
+				name string
+				c, l float64
+			}{
+				{"QLenFG", cr.QLenFG, lr.QLenFG},
+				{"WaitPFG", cr.WaitPFG, lr.WaitPFG},
+				{"CompBG", cr.CompBG, lr.CompBG},
+				{"QLenBG", cr.QLenBG, lr.QLenBG},
+			}
+			for _, m := range metrics {
+				if d := math.Abs(m.c - m.l); d > tol*(1+math.Abs(m.c)) {
+					t.Errorf("%s: |cyclic−logarithmic| = %g (cyclic %g, logarithmic %g)", m.name, d, m.c, m.l)
+				}
+			}
+		})
+	}
+}

@@ -202,14 +202,7 @@ func (m *Model) levelMatrices(level int) (down, local, up *mat.Matrix) {
 		case +1:
 			dst = up
 		}
-		ro, co := tr.fromIdx*a, tr.toIdx*a
-		for i := 0; i < a; i++ {
-			for j := 0; j < a; j++ {
-				if v := tr.rate.At(i, j); v != 0 {
-					dst.Add(ro+i, co+j, v)
-				}
-			}
-		}
+		dst.AddBlockAt(tr.fromIdx*a, tr.toIdx*a, tr.rate)
 	}
 	return down, local, up
 }
@@ -258,6 +251,7 @@ func (m *Model) qbdBlocks() (qbd.Boundary, *qbd.Process, error) {
 	if err != nil {
 		return qbd.Boundary{}, nil, fmt.Errorf("core: assembling QBD: %w", err)
 	}
+	proc.Tune(m.tuning)
 	return boundary, proc, nil
 }
 
@@ -279,15 +273,7 @@ func (m *Model) Generator(maxLevel int) *mat.Matrix {
 			if j+tr.dLevel > maxLevel || j+tr.dLevel < 0 {
 				continue
 			}
-			ro := offsets[j] + tr.fromIdx*a
-			co := offsets[j+tr.dLevel] + tr.toIdx*a
-			for i := 0; i < a; i++ {
-				for k := 0; k < a; k++ {
-					if v := tr.rate.At(i, k); v != 0 {
-						g.Add(ro+i, co+k, v)
-					}
-				}
-			}
+			g.AddBlockAt(offsets[j]+tr.fromIdx*a, offsets[j+tr.dLevel]+tr.toIdx*a, tr.rate)
 		}
 	}
 	for i := 0; i < total; i++ {

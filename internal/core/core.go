@@ -24,6 +24,7 @@ import (
 	"bgperf/internal/arrival"
 	"bgperf/internal/mat"
 	"bgperf/internal/phtype"
+	"bgperf/internal/qbd"
 )
 
 // ErrConfig reports an invalid model configuration.
@@ -245,7 +246,15 @@ type Model struct {
 	// cfg.BGBuffer except when BGProb = 0, where BG and idle-wait states are
 	// unreachable and are pruned to keep the phase process irreducible.
 	xEff int
+
+	// tuning is forwarded to the qbd.Process built by each solve.
+	tuning qbd.Tuning
 }
+
+// Tune installs numerical strategy knobs (R iteration scheme, intra-solve
+// worker fan-out) for all subsequent solves on m. The zero Tuning is the
+// default configuration. It must not be called concurrently with a solve.
+func (m *Model) Tune(t qbd.Tuning) { m.tuning = t }
 
 // NewModel validates cfg and prepares the chain builder.
 func NewModel(cfg Config) (*Model, error) {

@@ -28,8 +28,13 @@ const (
 )
 
 // mulIntoNaive is the zero-skipping triple loop for small or sparse operands.
-func mulIntoNaive(m, a, b *Matrix) {
-	for i := 0; i < a.rows; i++ {
+func mulIntoNaive(m, a, b *Matrix) { mulIntoNaiveRows(m, a, b, 0, a.rows) }
+
+// mulIntoNaiveRows is mulIntoNaive restricted to output rows [i0, i1) — the
+// unit of work the row-banded parallel multiply distributes. Each output row
+// is computed exactly as in the serial kernel, so banding never changes bits.
+func mulIntoNaiveRows(m, a, b *Matrix, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		dst := m.a[i*m.cols : (i+1)*m.cols]
 		for k := range dst {
 			dst[k] = 0
@@ -49,14 +54,104 @@ func mulIntoNaive(m, a, b *Matrix) {
 
 // mulIntoBlocked is the column-tiled, 4-way k-unrolled kernel for large
 // dense operands.
-func mulIntoBlocked(m, a, b *Matrix) {
-	rows, inner, width := a.rows, a.cols, b.cols
+func mulIntoBlocked(m, a, b *Matrix) { mulIntoBlockedRows(m, a, b, 0, a.rows) }
+
+// mulIntoBlockedRows is mulIntoBlocked restricted to output rows [i0, i1),
+// for the row-banded parallel multiply. Per output row the arithmetic is the
+// serial kernel's, so banding never changes bits.
+//
+// Rows advance in pairs: the four b rows of each k quad are loaded once and
+// feed both output rows, halving the streamed b traffic, and the two
+// accumulator chains are independent, so the FP-add latency of one row hides
+// behind the other. Each output row still applies its products in strictly
+// ascending k order as four separate accumulations — pairing changes which
+// row computes next, never the order within a row, so results are
+// bit-identical to the single-row kernel (pinned by tests).
+func mulIntoBlockedRows(m, a, b *Matrix, i0, i1 int) {
+	inner, width := a.cols, b.cols
 	for jt := 0; jt < width; jt += mulBlockJ {
 		jhi := jt + mulBlockJ
 		if jhi > width {
 			jhi = width
 		}
-		for i := 0; i < rows; i++ {
+		i := i0
+		for ; i+1 < i1; i += 2 {
+			dst0 := m.a[i*width+jt : i*width+jhi]
+			dst1 := m.a[(i+1)*width+jt : (i+1)*width+jhi]
+			for j := range dst0 {
+				dst0[j] = 0
+				dst1[j] = 0
+			}
+			arow0 := a.a[i*inner : (i+1)*inner]
+			arow1 := a.a[(i+1)*inner : (i+2)*inner]
+			k := 0
+			for ; k+3 < inner; k += 4 {
+				a00, a01, a02, a03 := arow0[k], arow0[k+1], arow0[k+2], arow0[k+3]
+				a10, a11, a12, a13 := arow1[k], arow1[k+1], arow1[k+2], arow1[k+3]
+				zero0 := a00 == 0 && a01 == 0 && a02 == 0 && a03 == 0
+				zero1 := a10 == 0 && a11 == 0 && a12 == 0 && a13 == 0
+				if zero0 && zero1 {
+					continue
+				}
+				b0 := b.a[k*width+jt : k*width+jhi]
+				b1 := b.a[(k+1)*width+jt : (k+1)*width+jhi]
+				b2 := b.a[(k+2)*width+jt : (k+2)*width+jhi]
+				b3 := b.a[(k+3)*width+jt : (k+3)*width+jhi]
+				switch {
+				case zero1:
+					for j := range dst0 {
+						t := dst0[j]
+						t += a00 * b0[j]
+						t += a01 * b1[j]
+						t += a02 * b2[j]
+						t += a03 * b3[j]
+						dst0[j] = t
+					}
+				case zero0:
+					for j := range dst1 {
+						t := dst1[j]
+						t += a10 * b0[j]
+						t += a11 * b1[j]
+						t += a12 * b2[j]
+						t += a13 * b3[j]
+						dst1[j] = t
+					}
+				default:
+					for j := range dst0 {
+						t0 := dst0[j]
+						t0 += a00 * b0[j]
+						t0 += a01 * b1[j]
+						t0 += a02 * b2[j]
+						t0 += a03 * b3[j]
+						dst0[j] = t0
+						t1 := dst1[j]
+						t1 += a10 * b0[j]
+						t1 += a11 * b1[j]
+						t1 += a12 * b2[j]
+						t1 += a13 * b3[j]
+						dst1[j] = t1
+					}
+				}
+			}
+			for ; k < inner; k++ {
+				a0v, a1v := arow0[k], arow1[k]
+				if a0v == 0 && a1v == 0 {
+					continue
+				}
+				brow := b.a[k*width+jt : k*width+jhi]
+				if a0v != 0 {
+					for j, bv := range brow {
+						dst0[j] += a0v * bv
+					}
+				}
+				if a1v != 0 {
+					for j, bv := range brow {
+						dst1[j] += a1v * bv
+					}
+				}
+			}
+		}
+		for ; i < i1; i++ {
 			dst := m.a[i*width+jt : i*width+jhi]
 			for j := range dst {
 				dst[j] = 0

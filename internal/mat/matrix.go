@@ -240,6 +240,26 @@ func (m *Matrix) CloneInto(dst *Matrix) *Matrix {
 	return dst
 }
 
+// AddBlockAt adds src entrywise into the receiver at offset (ro, co):
+// m[ro+i, co+j] += src[i, j]. Exact-zero entries of src are skipped, so the
+// structurally sparse rate blocks of the chain builders (scaled identities,
+// bands) cost only their nonzeros. The row-slice walk makes this the bulk
+// replacement for per-element At/Add assembly loops.
+func (m *Matrix) AddBlockAt(ro, co int, src *Matrix) {
+	if ro < 0 || co < 0 || ro+src.rows > m.rows || co+src.cols > m.cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < src.rows; i++ {
+		srow := src.a[i*src.cols : (i+1)*src.cols]
+		drow := m.a[(ro+i)*m.cols+co : (ro+i)*m.cols+co+src.cols]
+		for j, v := range srow {
+			if v != 0 {
+				drow[j] += v
+			}
+		}
+	}
+}
+
 // Mul returns the matrix product m·n as a new matrix.
 func (m *Matrix) Mul(n *Matrix) *Matrix {
 	out := New(m.rows, n.cols)

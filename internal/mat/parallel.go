@@ -1,0 +1,47 @@
+package mat
+
+import "bgperf/internal/par"
+
+// parallelMulMinRows is the smallest output-row count worth fanning across
+// goroutines: below it the spawn/join overhead of the worker pool exceeds
+// the arithmetic of a band.
+const parallelMulMinRows = 64
+
+// MulIntoWorkers computes a·b into dst like MulInto, fanning contiguous
+// output-row bands across a bounded worker pool (workers <= 1, or a product
+// too small to pay for the fan-out, degrades to the serial MulInto). Each
+// band runs the same kernel arithmetic as the serial multiply on its rows
+// and bands write disjoint row ranges of dst, so the result is bit-identical
+// to MulInto for every worker count — pinned by tests. dst must not alias a
+// or b.
+func MulIntoWorkers(dst, a, b *Matrix, workers int) {
+	rows := a.rows
+	if workers <= 1 || rows < parallelMulMinRows {
+		dst.MulInto(a, b)
+		return
+	}
+	if a.cols != b.rows || dst.rows != rows || dst.cols != b.cols {
+		panic(ErrShape)
+	}
+	mulCount.Add(1)
+	blocked := a.cols >= blockedMulMin && b.cols >= blockedMulMin
+	if workers > rows {
+		workers = rows
+	}
+	band := (rows + workers - 1) / workers
+	nBands := (rows + band - 1) / band
+	// The kernels cannot fail; par.For's error slot stays nil throughout.
+	_ = par.For(workers, nBands, func(w int) error {
+		i0 := w * band
+		i1 := i0 + band
+		if i1 > rows {
+			i1 = rows
+		}
+		if blocked {
+			mulIntoBlockedRows(dst, a, b, i0, i1)
+		} else {
+			mulIntoNaiveRows(dst, a, b, i0, i1)
+		}
+		return nil
+	})
+}

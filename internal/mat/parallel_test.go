@@ -1,0 +1,36 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMulIntoWorkersBitIdentical pins the determinism contract of the
+// row-banded parallel multiply: for every worker count the result must be
+// exactly the serial MulInto's, across sizes that straddle both the banding
+// threshold and the naive/blocked kernel switch. Run under -race (the CI
+// parallel-path job does) this also exercises the disjoint-write claim.
+func TestMulIntoWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 8, 63, 64, 65, 128, 153} {
+		a := New(n, n)
+		b := New(n, n)
+		for i := range a.a {
+			a.a[i] = rng.NormFloat64()
+			b.a[i] = rng.NormFloat64()
+		}
+		want := New(n, n)
+		want.MulInto(a, b)
+		for _, workers := range []int{1, 2, 3, 7, 16, n + 5} {
+			got := New(n, n)
+			MulIntoWorkers(got, a, b, workers)
+			for i := 0; i < n*n; i++ {
+				if math.Float64bits(got.a[i]) != math.Float64bits(want.a[i]) {
+					t.Fatalf("n=%d workers=%d: element %d differs: %g vs %g",
+						n, workers, i, got.a[i], want.a[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomStructured returns an n×n matrix with the kind of structure the QBD
+// generator blocks have: a scaled identity, a few dense block bands, and
+// isolated entries, with overall density below dens.
+func randomStructured(rng *rand.Rand, n int, dens float64) *Matrix {
+	m := New(n, n)
+	// Scaled identity part (A0/A2 of the paper's chain are mostly this).
+	if rng.Intn(2) == 0 {
+		s := rng.Float64() * 3
+		for i := 0; i < n; i++ {
+			m.Set(i, i, s)
+		}
+	}
+	// Random entries up to the target density.
+	target := int(dens * float64(n*n))
+	for e := 0; e < target; e++ {
+		m.Set(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+	}
+	// A dense sub-block (phase blocks of the modulating MAP).
+	if n >= 8 {
+		r0, c0 := rng.Intn(n-4), rng.Intn(n-4)
+		for i := r0; i < r0+4; i++ {
+			for j := c0; j < c0+4; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return m
+}
+
+// TestSparseMulBitIdentical pins the determinism contract across all three
+// multiply paths: for randomized structured matrices, sparse·dense and
+// dense·sparse must produce exactly the bits of the dense MulInto (which
+// itself straddles the naive and blocked kernels across these sizes).
+func TestSparseMulBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 16, 23, 24, 25, 48, 96, 153} {
+		for _, dens := range []float64{0, 0.02, 0.1, 0.4} {
+			a := randomStructured(rng, n, dens)
+			b := New(n, n)
+			for i := range b.a {
+				b.a[i] = rng.NormFloat64()
+			}
+			s := NewSparse(a)
+			if got := s.Dense(); !got.Equalf(a, 0) {
+				t.Fatalf("n=%d dens=%g: Dense(NewSparse(a)) != a", n, dens)
+			}
+
+			want := New(n, n)
+			want.MulInto(a, b)
+			got := New(n, n)
+			s.MulInto(got, b)
+			requireBits(t, "sparse·dense", n, dens, got, want)
+
+			want.MulInto(b, a)
+			s.MulRightInto(got, b)
+			requireBits(t, "dense·sparse", n, dens, got, want)
+		}
+	}
+}
+
+// TestSparseMulCounts checks sparse products participate in the process-wide
+// MulCount budget, so op-count gates cover every kernel the solvers use.
+func TestSparseMulCounts(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 0}, {0, 2}})
+	b := MustFromRows([][]float64{{3, 4}, {5, 6}})
+	s := NewSparse(a)
+	dst := New(2, 2)
+	ResetMulCount()
+	s.MulInto(dst, b)
+	s.MulRightInto(dst, b)
+	if got := MulCount(); got != 2 {
+		t.Fatalf("sparse products counted %d, want 2", got)
+	}
+}
+
+func requireBits(t *testing.T, what string, n int, dens float64, got, want *Matrix) {
+	t.Helper()
+	for i := 0; i < got.rows; i++ {
+		for j := 0; j < got.cols; j++ {
+			g, x := got.At(i, j), want.At(i, j)
+			if math.Float64bits(g) != math.Float64bits(x) {
+				t.Fatalf("%s n=%d dens=%g: (%d,%d) got bits %x want %x (%g vs %g)",
+					what, n, dens, i, j, math.Float64bits(g), math.Float64bits(x), g, x)
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package mat
 
+import "sync"
+
 // Workspace owns reusable scratch matrices, vectors, and LU factorizations,
 // pooled by shape. Solver hot loops acquire buffers from a Workspace instead
 // of allocating, run their iterations allocation-free, and release the
@@ -7,8 +9,12 @@ package mat
 //
 // Usage rules:
 //
-//   - A Workspace is NOT safe for concurrent use. Each goroutine (each QBD
-//     solve in a parallel sweep) must own its Workspace.
+//   - A Workspace is safe for concurrent borrowers: acquisitions and releases
+//     from multiple goroutines are serialized by an internal mutex, so the
+//     intra-solve parallel paths (block-row multiplies fanned over a worker
+//     pool) may share one workspace. Note that only the pool bookkeeping is
+//     synchronized — the buffers themselves are owned by exactly one borrower
+//     between acquisition and release, as before.
 //   - Matrix and Vector return zeroed buffers; LU returns a factorization
 //     shell ready for FactorizeInto.
 //   - Release hands a buffer back for reuse. Releasing a buffer twice, or
@@ -20,6 +26,7 @@ package mat
 //   - A nil *Workspace is valid everywhere and degrades to plain allocation,
 //     so APIs can thread an optional workspace without branching.
 type Workspace struct {
+	mu   sync.Mutex
 	mats map[int64][]*Matrix
 	vecs map[int][][]float64
 	lus  map[int][]*LU
@@ -42,6 +49,8 @@ func (w *Workspace) Stats() WorkspaceStats {
 	if w == nil {
 		return WorkspaceStats{}
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.stats
 }
 
@@ -54,6 +63,38 @@ func NewWorkspace() *Workspace {
 	}
 }
 
+// wsPool recycles whole workspaces — and with them every buffer ever
+// released into one — across solver invocations. A cold workspace's first
+// solve allocates its working set; subsequent solves of same-shaped models
+// run entirely on pooled memory, which removes the dominant allocation and
+// page-zeroing cost of repeated solves (parameter sweeps, the check harness,
+// the daemon's request loop).
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// AcquireWorkspace returns a workspace from the process-wide pool (or a fresh
+// one), with its statistics reset so Stats reports per-acquisition counts.
+// Buffers retained inside it from earlier uses are reused by shape as usual.
+// Pair with ReleaseWorkspace; a workspace must not be used after release.
+//
+// Everything that escapes the acquiring solve (results handed to callers)
+// must be allocated outside the workspace: after ReleaseWorkspace the next
+// acquirer may hand out the same buffers.
+func AcquireWorkspace() *Workspace {
+	w := wsPool.Get().(*Workspace)
+	w.mu.Lock()
+	w.stats = WorkspaceStats{}
+	w.mu.Unlock()
+	return w
+}
+
+// ReleaseWorkspace returns w to the process-wide pool. Nil is a no-op.
+func ReleaseWorkspace(w *Workspace) {
+	if w == nil {
+		return
+	}
+	wsPool.Put(w)
+}
+
 func matKey(rows, cols int) int64 { return int64(rows)<<32 | int64(uint32(cols)) }
 
 // Matrix returns a zeroed rows×cols matrix, reusing a released buffer of the
@@ -63,14 +104,41 @@ func (w *Workspace) Matrix(rows, cols int) *Matrix {
 		return New(rows, cols)
 	}
 	key := matKey(rows, cols)
+	w.mu.Lock()
 	if pool := w.mats[key]; len(pool) > 0 {
 		m := pool[len(pool)-1]
 		w.mats[key] = pool[:len(pool)-1]
-		m.Zero()
 		w.stats.MatrixHits++
+		w.mu.Unlock()
+		m.Zero()
 		return m
 	}
 	w.stats.MatrixMisses++
+	w.mu.Unlock()
+	return New(rows, cols)
+}
+
+// MatrixUninit returns a rows×cols matrix with unspecified contents, reusing
+// a released buffer of the same shape when one is available. It is the
+// acquisition for destinations that are fully overwritten before any read —
+// MulInto, ScaleInto, SubInto, CloneInto, TransposeInto, SolveMatInto, and
+// InverseInto targets — where Matrix's zeroing is pure overhead. Callers that
+// read any element before writing it must use Matrix instead.
+func (w *Workspace) MatrixUninit(rows, cols int) *Matrix {
+	if w == nil {
+		return New(rows, cols)
+	}
+	key := matKey(rows, cols)
+	w.mu.Lock()
+	if pool := w.mats[key]; len(pool) > 0 {
+		m := pool[len(pool)-1]
+		w.mats[key] = pool[:len(pool)-1]
+		w.stats.MatrixHits++
+		w.mu.Unlock()
+		return m
+	}
+	w.stats.MatrixMisses++
+	w.mu.Unlock()
 	return New(rows, cols)
 }
 
@@ -89,6 +157,8 @@ func (w *Workspace) Release(ms ...*Matrix) {
 	if w == nil {
 		return
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, m := range ms {
 		if m == nil {
 			continue
@@ -104,16 +174,19 @@ func (w *Workspace) Vector(n int) []float64 {
 	if w == nil {
 		return make([]float64, n)
 	}
+	w.mu.Lock()
 	if pool := w.vecs[n]; len(pool) > 0 {
 		v := pool[len(pool)-1]
 		w.vecs[n] = pool[:len(pool)-1]
+		w.stats.VectorHits++
+		w.mu.Unlock()
 		for i := range v {
 			v[i] = 0
 		}
-		w.stats.VectorHits++
 		return v
 	}
 	w.stats.VectorMisses++
+	w.mu.Unlock()
 	return make([]float64, n)
 }
 
@@ -122,6 +195,8 @@ func (w *Workspace) ReleaseVector(vs ...[]float64) {
 	if w == nil {
 		return
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, v := range vs {
 		if v == nil {
 			continue
@@ -137,13 +212,16 @@ func (w *Workspace) LU(n int) *LU {
 	if w == nil {
 		return NewLU(n)
 	}
+	w.mu.Lock()
 	if pool := w.lus[n]; len(pool) > 0 {
 		f := pool[len(pool)-1]
 		w.lus[n] = pool[:len(pool)-1]
 		w.stats.LUHits++
+		w.mu.Unlock()
 		return f
 	}
 	w.stats.LUMisses++
+	w.mu.Unlock()
 	return NewLU(n)
 }
 
@@ -152,6 +230,8 @@ func (w *Workspace) ReleaseLU(fs ...*LU) {
 	if w == nil {
 		return
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, f := range fs {
 		if f == nil || f.lu == nil {
 			continue

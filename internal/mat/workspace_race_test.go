@@ -1,0 +1,71 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWorkspaceConcurrentBorrowers pins the concurrency contract of the
+// shape-keyed pool: multiple goroutines borrowing and releasing buffers from
+// one Workspace must not race on the pool bookkeeping. Before the pool was
+// mutex-protected this test failed under -race (concurrent map writes in
+// Matrix/Release) and could corrupt the free lists; it now must pass under
+// -race and hand every borrower a buffer it exclusively owns.
+func TestWorkspaceConcurrentBorrowers(t *testing.T) {
+	ws := NewWorkspace()
+	// Pre-seed the pools so hits and misses both occur concurrently.
+	seed := []*Matrix{ws.Matrix(8, 8), ws.Matrix(8, 8), ws.Matrix(3, 5)}
+	ws.Release(seed...)
+	ws.ReleaseVector(ws.Vector(8), ws.Vector(8))
+	ws.ReleaseLU(ws.LU(8))
+
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m := ws.Matrix(8, 8)
+				n := ws.Matrix(3, 5)
+				v := ws.Vector(8)
+				f := ws.LU(8)
+				// Exercise exclusive ownership: if two borrowers were ever
+				// handed the same buffer, the race detector flags the
+				// concurrent writes below.
+				fill := float64(w*rounds + r)
+				for i := 0; i < 8; i++ {
+					for j := 0; j < 8; j++ {
+						m.Set(i, j, fill)
+					}
+					v[i] = fill
+				}
+				if err := FactorizeInto(f, Identity(8)); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 8; i++ {
+					for j := 0; j < 8; j++ {
+						if m.At(i, j) != fill {
+							t.Errorf("worker %d round %d: buffer shared with another borrower", w, r)
+							return
+						}
+					}
+				}
+				ws.Release(m, n)
+				ws.ReleaseVector(v)
+				ws.ReleaseLU(f)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := ws.Stats()
+	if s.MatrixHits+s.MatrixMisses < workers*rounds {
+		t.Fatalf("stats lost acquisitions under concurrency: %+v", s)
+	}
+}

@@ -1,0 +1,105 @@
+package multiclass
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/mat"
+)
+
+// TestBuilderBlockMulBitIdentical is the two-priority twin of the core
+// package's test of the same name: the CSR multiply paths must reproduce the
+// dense MulInto bits exactly on the precise zero-block patterns the
+// multiclass chain builder emits (scaled-identity A2/Down blocks, one
+// arrival block per phase group in A0/Up).
+func TestBuilderBlockMulBitIdentical(t *testing.T) {
+	ap, err := arrival.MMPP2(0.3, 0.1, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err = ap.WithRate(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(Config{
+		Arrival:     ap,
+		ServiceRate: 1,
+		BG1Prob:     0.2,
+		BG2Prob:     0.3,
+		BG1Buffer:   3,
+		BG2Buffer:   2,
+		IdleRate:    0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary, proc, err := m.qbdBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocks := map[string]*mat.Matrix{
+		"A0":      proc.A0(),
+		"A1":      proc.A1(),
+		"A2":      proc.A2(),
+		"RepDown": boundary.RepDown,
+	}
+	for j := range boundary.Local {
+		blocks[fmt.Sprintf("Local[%d]", j)] = boundary.Local[j]
+		blocks[fmt.Sprintf("Up[%d]", j)] = boundary.Up[j]
+		if boundary.Down[j] != nil {
+			blocks[fmt.Sprintf("Down[%d]", j)] = boundary.Down[j]
+		}
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	for name, b := range blocks {
+		if b == nil {
+			continue
+		}
+		s := mat.NewSparse(b)
+		if d := s.Dense(); !d.Equalf(b, 0) {
+			t.Fatalf("%s: Dense(NewSparse(b)) != b", name)
+		}
+
+		right := randDense(rng, b.Cols(), b.Cols())
+		want := mat.New(b.Rows(), b.Cols())
+		want.MulInto(b, right)
+		got := mat.New(b.Rows(), b.Cols())
+		s.MulInto(got, right)
+		requireSameBits(t, name+" (sparse·dense)", got, want)
+
+		left := randDense(rng, b.Rows(), b.Rows())
+		want2 := mat.New(b.Rows(), b.Cols())
+		want2.MulInto(left, b)
+		got2 := mat.New(b.Rows(), b.Cols())
+		s.MulRightInto(got2, left)
+		requireSameBits(t, name+" (dense·sparse)", got2, want2)
+	}
+}
+
+func randDense(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func requireSameBits(t *testing.T, what string, got, want *mat.Matrix) {
+	t.Helper()
+	for i := 0; i < got.Rows(); i++ {
+		for j := 0; j < got.Cols(); j++ {
+			g, w := got.At(i, j), want.At(i, j)
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("%s: (%d,%d) got bits %x want %x (%g vs %g)",
+					what, i, j, math.Float64bits(g), math.Float64bits(w), g, w)
+			}
+		}
+	}
+}

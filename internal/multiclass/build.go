@@ -16,11 +16,20 @@ type trans struct {
 	rate    *mat.Matrix
 }
 
+// scaledIdentity returns rate·I, cached per distinct rate: the emitter
+// requests the same handful of rate blocks for every level, so the chain
+// build allocates each exactly once per model. Callers must not mutate the
+// result.
 func (m *Model) scaledIdentity(rate float64) *mat.Matrix {
 	if rate == 0 {
 		return nil
 	}
-	return mat.Identity(m.phases).Scale(rate)
+	if s, ok := m.scaled[rate]; ok {
+		return s
+	}
+	s := mat.Identity(m.phases).Scale(rate)
+	m.scaled[rate] = s
+	return s
 }
 
 // downTarget classifies the state reached when a foreground completion (or a
@@ -157,25 +166,17 @@ func (m *Model) levelMatrices(level int) (down, local, up *mat.Matrix) {
 		case +1:
 			dst = up
 		}
-		ro, co := tr.fromIdx*a, tr.toIdx*a
-		for i := 0; i < a; i++ {
-			for j := 0; j < a; j++ {
-				if v := tr.rate.At(i, j); v != 0 {
-					dst.Add(ro+i, co+j, v)
-				}
-			}
-		}
+		dst.AddBlockAt(tr.fromIdx*a, tr.toIdx*a, tr.rate)
 	}
 	return down, local, up
 }
 
 func fixDiagonal(local *mat.Matrix, others ...*mat.Matrix) {
 	for i := 0; i < local.Rows(); i++ {
-		var sum float64
-		sum += mat.Sum(local.Row(i))
+		sum := local.RowSum(i)
 		for _, o := range others {
 			if o != nil {
-				sum += mat.Sum(o.Row(i))
+				sum += o.RowSum(i)
 			}
 		}
 		local.Add(i, i, -sum)
@@ -205,6 +206,7 @@ func (m *Model) qbdBlocks() (qbd.Boundary, *qbd.Process, error) {
 	if err != nil {
 		return qbd.Boundary{}, nil, fmt.Errorf("multiclass: assembling QBD: %w", err)
 	}
+	proc.Tune(m.tuning)
 	return boundary, proc, nil
 }
 
@@ -224,15 +226,7 @@ func (m *Model) Generator(maxLevel int) *mat.Matrix {
 			if j+tr.dLevel > maxLevel || j+tr.dLevel < 0 {
 				continue
 			}
-			ro := offsets[j] + tr.fromIdx*a
-			co := offsets[j+tr.dLevel] + tr.toIdx*a
-			for i := 0; i < a; i++ {
-				for k := 0; k < a; k++ {
-					if v := tr.rate.At(i, k); v != 0 {
-						g.Add(ro+i, co+k, v)
-					}
-				}
-			}
+			g.AddBlockAt(offsets[j]+tr.fromIdx*a, offsets[j+tr.dLevel]+tr.toIdx*a, tr.rate)
 		}
 	}
 	for i := 0; i < total; i++ {

@@ -24,6 +24,7 @@ import (
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
 	"bgperf/internal/mat"
+	"bgperf/internal/qbd"
 )
 
 // ErrConfig reports an invalid configuration.
@@ -89,6 +90,13 @@ type block struct {
 	x1, x2 int
 }
 
+// levelLayout is the cached block enumeration of one level: the canonical
+// block order plus the inverse index used by the transition emitter.
+type levelLayout struct {
+	blocks []block
+	index  map[block]int
+}
+
 // Model is a validated, solvable instance.
 type Model struct {
 	cfg     Config
@@ -99,7 +107,25 @@ type Model struct {
 	// x1, x2 are the effective buffer sizes (pruned to 0 when the matching
 	// spawn probability is 0, keeping the phase process irreducible).
 	x1, x2 int
+
+	// layouts[j] caches the block layout of level j for j = 0..x1+x2+1; every
+	// level at or past x1+x2+1 has the identical repeating layout and shares
+	// the last entry. Built once in NewModel so the chain build, the metric
+	// masks, and the transition emitter all run allocation-free lookups.
+	layouts []*levelLayout
+	// scaled caches the handful of distinct scaled-identity rate blocks
+	// (µ(1−p1−p2), µp1, µp2, µ, α) the transition emitter reuses across every
+	// level instead of allocating one per emitted transition.
+	scaled map[float64]*mat.Matrix
+
+	// tuning is forwarded to the qbd.Process built by each solve.
+	tuning qbd.Tuning
 }
+
+// Tune installs numerical strategy knobs (R iteration scheme, intra-solve
+// worker fan-out) for all subsequent solves. It must not be called
+// concurrently with a solve.
+func (m *Model) Tune(t qbd.Tuning) { m.tuning = t }
 
 // NewModel validates cfg and prepares the chain builder.
 func NewModel(cfg Config) (*Model, error) {
@@ -133,7 +159,26 @@ func NewModel(cfg Config) (*Model, error) {
 	if cfg.BG2Prob == 0 {
 		m.x2 = 0
 	}
+	m.layouts = make([]*levelLayout, m.x1+m.x2+2)
+	for j := range m.layouts {
+		blocks := m.buildLevelBlocks(j)
+		index := make(map[block]int, len(blocks))
+		for i, b := range blocks {
+			index[b] = i
+		}
+		m.layouts[j] = &levelLayout{blocks: blocks, index: index}
+	}
+	m.scaled = make(map[float64]*mat.Matrix)
 	return m, nil
+}
+
+// layout returns the cached block layout of a level; levels past the
+// boundary share the repeating layout.
+func (m *Model) layout(level int) *levelLayout {
+	if level >= len(m.layouts) {
+		level = len(m.layouts) - 1
+	}
+	return m.layouts[level]
 }
 
 // Config returns the configuration with defaults applied.
@@ -145,10 +190,17 @@ func (m *Model) Phases() int { return m.phases }
 // boundaryLevels returns the number of boundary levels (X1+X2+1).
 func (m *Model) boundaryLevels() int { return m.x1 + m.x2 + 1 }
 
-// levelBlocks enumerates the blocks of one level in a fixed canonical order:
+// levelBlocks returns the blocks of one level in the fixed canonical order:
 // FG states by (x1, x2), then BG1-serving, then BG2-serving, then idle-wait
-// states (boundary levels only).
+// states (boundary levels only). The returned slice is the cached layout and
+// must not be mutated.
 func (m *Model) levelBlocks(level int) []block {
+	return m.layout(level).blocks
+}
+
+// buildLevelBlocks enumerates a level's blocks from scratch; NewModel caches
+// one layout per distinct level shape.
+func (m *Model) buildLevelBlocks(level int) []block {
 	if level == 0 {
 		return []block{{kind: kindEmpty}}
 	}
@@ -187,10 +239,8 @@ func (m *Model) levelBlocks(level int) []block {
 
 // blockIndex returns the position of b within its level, or −1.
 func (m *Model) blockIndex(level int, b block) int {
-	for i, cand := range m.levelBlocks(level) {
-		if cand == b {
-			return i
-		}
+	if i, ok := m.layout(level).index[b]; ok {
+		return i
 	}
 	return -1
 }

@@ -119,7 +119,8 @@ func SolveObserved(b Boundary, p *Process, o obs.Observer) (*Solution, error) {
 	if err := b.validate(p); err != nil {
 		return nil, err
 	}
-	ws := mat.NewWorkspace()
+	ws := mat.AcquireWorkspace()
+	defer mat.ReleaseWorkspace(ws)
 	var t0 time.Time
 	if o != nil {
 		t0 = time.Now()
@@ -144,7 +145,7 @@ func SolveObserved(b Boundary, p *Process, o obs.Observer) (*Solution, error) {
 	m := p.Order()
 	sumR := mat.New(m, m) // cached on the Solution; never pooled
 	{
-		idMinusR := ws.Matrix(m, m).ScaleInto(r, -1)
+		idMinusR := ws.MatrixUninit(m, m).ScaleInto(r, -1)
 		for i := 0; i < m; i++ {
 			idMinusR.Add(i, i, 1)
 		}
@@ -170,30 +171,44 @@ func SolveObserved(b Boundary, p *Process, o obs.Observer) (*Solution, error) {
 	// forward sweep π_{j+1} = π_j·T_{j+1}. The fold ping-pongs workspace
 	// buffers: each level releases its fold before acquiring the next, so
 	// same-shaped levels reuse the same memory.
-	sTop := ws.Matrix(m, m)
-	sTop.MulInto(r, p.a2)
+	sTop := ws.MatrixUninit(m, m)
+	if _, sA2 := p.sparseBlocks(); sA2 != nil {
+		sA2.MulRightInto(sTop, r)
+	} else {
+		sTop.MulInto(r, p.a2)
+	}
 	sTop.AddInPlace(p.a1)
 	prop := make([]*mat.Matrix, nb+1) // prop[j]: π_j = π_{j−1}·prop[j], j ≥ 1
 	s := sTop
 	for j := nb; j >= 1; j-- {
 		n := s.Rows()
-		neg := ws.Matrix(n, n).ScaleInto(s, -1)
+		neg := ws.MatrixUninit(n, n).ScaleInto(s, -1)
 		lu := ws.LU(n)
 		if err := mat.FactorizeInto(lu, neg); err != nil {
 			return nil, fmt.Errorf("qbd: level reduction at %d: %w", j, err)
 		}
-		negInv := ws.Matrix(n, n)
+		negInv := ws.MatrixUninit(n, n)
 		lu.InverseInto(negInv)
 		up := b.Up[j-1]
-		prop[j] = mat.New(up.Rows(), n) // persists into the forward sweep
+		// Held until the forward sweep below has consumed it, then released.
+		// Up is structurally sparse (one arrival block per phase group), so
+		// the zero-skipping dense kernel makes this product cheap.
+		prop[j] = ws.MatrixUninit(up.Rows(), n)
 		prop[j].MulInto(up, negInv)
 		down := repDown
 		if j < nb {
 			down = b.Down[j]
 		}
 		local := b.Local[j-1]
-		sNext := ws.Matrix(local.Rows(), local.Cols())
-		sNext.MulInto(prop[j], down)
+		sNext := ws.MatrixUninit(local.Rows(), local.Cols())
+		// The fold T·Down is dense·sparse — Down carries one service block
+		// per phase group — so the CSR right-multiply kernel turns the n³
+		// product into O(n·nnz) when the block is big and sparse enough.
+		if sd := sparseDown(down); sd != nil {
+			sd.MulRightInto(sNext, prop[j])
+		} else {
+			sNext.MulInto(prop[j], down)
+		}
 		sNext.AddInPlace(local)
 		ws.Release(neg, negInv, s)
 		ws.ReleaseLU(lu)
@@ -219,6 +234,7 @@ func SolveObserved(b Boundary, p *Process, o obs.Observer) (*Solution, error) {
 		next := make([]float64, prop[j+1].Cols()) // persists in the Solution
 		cur = prop[j+1].VecMulInto(next, cur)
 	}
+	ws.Release(prop[1:]...)
 	sol.RepPi = cur
 	total += mat.Dot(cur, sumR.RowSums())
 	if total <= 0 {
@@ -232,6 +248,21 @@ func SolveObserved(b Boundary, p *Process, o obs.Observer) (*Solution, error) {
 	return sol, nil
 }
 
+// sparseDown returns a CSR snapshot of a boundary down block when the sparse
+// right-multiply kernel wins (large block, low density — the same gates as the
+// repeating-block snapshots), or nil to keep the dense kernel. The sparse
+// kernel is bit-identical to the dense one (pinned in internal/mat), so the
+// choice never changes results.
+func sparseDown(down *mat.Matrix) *mat.Sparse {
+	if down.Rows() < sparseMinOrder {
+		return nil
+	}
+	if s := mat.NewSparse(down); s.Density() <= sparseMaxDensity {
+		return s
+	}
+	return nil
+}
+
 // cacheTailMoments precomputes the three geometric-tail moment vectors from
 // R, (I−R)⁻¹, and RepPi, using ws for every matrix intermediate.
 func (s *Solution) cacheTailMoments(ws *mat.Workspace) {
@@ -240,22 +271,22 @@ func (s *Solution) cacheTailMoments(ws *mat.Workspace) {
 	s.tailSum = s.sumR.VecMulInto(make([]float64, m), s.RepPi)
 
 	// Σ_k k·RepPi·R^k = RepPi·(I−R)⁻²·R.
-	sumR2 := ws.Matrix(m, m)
+	sumR2 := ws.MatrixUninit(m, m)
 	sumR2.MulInto(s.sumR, s.sumR)
 	v := ws.Vector(m)
 	sumR2.VecMulInto(v, s.RepPi)
 	s.tailW = s.R.VecMulInto(make([]float64, m), v)
 
 	// Σ_k k²·RepPi·R^k = RepPi·R·(I+R)·(I−R)⁻³.
-	cube := ws.Matrix(m, m)
+	cube := ws.MatrixUninit(m, m)
 	cube.MulInto(sumR2, s.sumR)
-	ipr := s.R.CloneInto(ws.Matrix(m, m))
+	ipr := s.R.CloneInto(ws.MatrixUninit(m, m))
 	for i := 0; i < m; i++ {
 		ipr.Add(i, i, 1)
 	}
-	rIpr := ws.Matrix(m, m)
+	rIpr := ws.MatrixUninit(m, m)
 	rIpr.MulInto(s.R, ipr)
-	factor := ws.Matrix(m, m)
+	factor := ws.MatrixUninit(m, m)
 	factor.MulInto(rIpr, cube)
 	s.tailW2 = factor.VecMulInto(make([]float64, m), s.RepPi)
 

@@ -34,7 +34,7 @@ func TestLogReductionMulBudget(t *testing.T) {
 	if iters < 1 {
 		t.Fatalf("expected at least one iteration, got %d", iters)
 	}
-	want := int64(8*iters + 1)
+	want := MulBudget(RSchemeLogarithmic, iters)
 	if muls != want {
 		t.Fatalf("logReduction used %d matrix products over %d iterations, want exactly %d (one t·l per iteration)",
 			muls, iters, want)

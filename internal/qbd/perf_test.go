@@ -17,7 +17,7 @@ func TestLogReductionStepZeroAlloc(t *testing.T) {
 		t.Skip("allocation counts are perturbed under the race detector")
 	}
 	b0, b1, b2 := logRedBlocks()
-	s := newLogRedState(b0.Rows(), nil)
+	s := newLogRedState(b0.Rows(), nil, 1)
 	if err := s.start(b0, b1, b2); err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,46 @@ type Process struct {
 	driftOnce          sync.Once
 	driftUp, driftDown float64
 	driftErr           error
+
+	// tuning selects the G/R iteration and the intra-solve multiply fan-out;
+	// the zero value is the default (cyclic reduction, serial).
+	tuning Tuning
+
+	// Sparse snapshots of A0/A2, built lazily for large sparse blocks (the
+	// scaled-identity-like transition blocks of the paper's chains); nil when
+	// the dense kernels are the better choice.
+	sparseOnce sync.Once
+	sA0, sA2   *mat.Sparse
+}
+
+// sparseMinOrder and sparseMaxDensity gate the CSR snapshots of A0/A2: below
+// the order threshold the dense kernels win (and the snapshot allocations
+// would show up in the small-model solve alloc budget); above the density
+// threshold the sparse traversal saves nothing over the zero-skipping dense
+// kernels.
+const (
+	sparseMinOrder   = 48
+	sparseMaxDensity = 0.25
+)
+
+// sparseBlocks returns the CSR snapshots of A0 and A2 when they are worth
+// using (large order, low density), building them at most once per process.
+// Either result may be nil independently. The sparse kernels are bit-identical
+// to the dense ones (pinned in internal/mat), so using a snapshot never
+// changes results.
+func (p *Process) sparseBlocks() (sA0, sA2 *mat.Sparse) {
+	p.sparseOnce.Do(func() {
+		if p.order < sparseMinOrder {
+			return
+		}
+		if s := mat.NewSparse(p.a0); s.Density() <= sparseMaxDensity {
+			p.sA0 = s
+		}
+		if s := mat.NewSparse(p.a2); s.Density() <= sparseMaxDensity {
+			p.sA2 = s
+		}
+	})
+	return p.sA0, p.sA2
 }
 
 // New validates the repeating blocks and returns the process. A0 and A2 must
@@ -163,13 +203,24 @@ func (p *Process) gWS(ws *mat.Workspace, o obs.Observer) (*mat.Matrix, int, floa
 	}
 	theta *= 1 + 1e-12
 	m := p.order
-	b0 := ws.Matrix(m, m).ScaleInto(p.a0, 1/theta)
-	b1 := ws.Matrix(m, m).ScaleInto(p.a1, 1/theta)
+	b0 := ws.MatrixUninit(m, m).ScaleInto(p.a0, 1/theta)
+	b1 := ws.MatrixUninit(m, m).ScaleInto(p.a1, 1/theta)
 	for i := 0; i < m; i++ {
 		b1.Add(i, i, 1)
 	}
-	b2 := ws.Matrix(m, m).ScaleInto(p.a2, 1/theta)
-	g, iters, residual, err := logReductionObs(b0, b1, b2, ws, o)
+	b2 := ws.MatrixUninit(m, m).ScaleInto(p.a2, 1/theta)
+	var (
+		g        *mat.Matrix
+		iters    int
+		residual float64
+		err      error
+	)
+	switch p.tuning.Scheme {
+	case RSchemeLogarithmic:
+		g, iters, residual, err = logReductionObs(b0, b1, b2, ws, o, p.tuning.Workers)
+	default:
+		g, iters, residual, err = cyclicReductionObs(b0, b1, b2, ws, o, p.tuning.Workers)
+	}
 	ws.Release(b0, b1, b2)
 	return g, iters, residual, err
 }
@@ -179,7 +230,8 @@ func (p *Process) gWS(ws *mat.Workspace, o obs.Observer) (*mat.Matrix, int, floa
 // sum buffer. After newLogRedState, the steady-state step performs zero heap
 // allocations (pinned by TestLogReductionStepZeroAlloc).
 type logRedState struct {
-	ws *mat.Workspace
+	ws      *mat.Workspace
+	workers int
 
 	id      *mat.Matrix // I, fixed
 	h, l    *mat.Matrix // level-up / level-down kernels
@@ -198,21 +250,26 @@ type logRedState struct {
 }
 
 // newLogRedState acquires the working set for order-m blocks from ws (nil ws
-// allocates directly).
-func newLogRedState(m int, ws *mat.Workspace) *logRedState {
+// allocates directly). workers bounds the block-row fan-out of the step's
+// multiplies (<= 1 serial; results are bit-identical for every worker count).
+func newLogRedState(m int, ws *mat.Workspace, workers int) *logRedState {
 	return &logRedState{
 		ws:      ws,
+		workers: workers,
+		// Every buffer but the identity is fully overwritten before its first
+		// read (products, clones, differences, inverse targets), so the
+		// working set skips acquisition zeroing.
 		id:      ws.Identity(m),
-		h:       ws.Matrix(m, m),
-		l:       ws.Matrix(m, m),
-		g:       ws.Matrix(m, m),
-		t:       ws.Matrix(m, m),
-		u:       ws.Matrix(m, m),
-		hh:      ws.Matrix(m, m),
-		ll:      ws.Matrix(m, m),
-		tl:      ws.Matrix(m, m),
-		inv:     ws.Matrix(m, m),
-		scratch: ws.Matrix(m, m),
+		h:       ws.MatrixUninit(m, m),
+		l:       ws.MatrixUninit(m, m),
+		g:       ws.MatrixUninit(m, m),
+		t:       ws.MatrixUninit(m, m),
+		u:       ws.MatrixUninit(m, m),
+		hh:      ws.MatrixUninit(m, m),
+		ll:      ws.MatrixUninit(m, m),
+		tl:      ws.MatrixUninit(m, m),
+		inv:     ws.MatrixUninit(m, m),
+		scratch: ws.MatrixUninit(m, m),
 		lu:      ws.LU(m),
 		rowSums: ws.Vector(m),
 	}
@@ -246,19 +303,19 @@ func (s *logRedState) start(b0, b1, b2 *mat.Matrix) error {
 // with scratch. done reports convergence (G's defect below 1e-13, or a
 // negligible update for transient chains).
 func (s *logRedState) step() (done bool, err error) {
-	s.u.MulInto(s.h, s.l)
-	s.scratch.MulInto(s.l, s.h)
+	mat.MulIntoWorkers(s.u, s.h, s.l, s.workers)
+	mat.MulIntoWorkers(s.scratch, s.l, s.h, s.workers)
 	s.u.AddInPlace(s.scratch)
-	s.hh.MulInto(s.h, s.h)
-	s.ll.MulInto(s.l, s.l)
+	mat.MulIntoWorkers(s.hh, s.h, s.h, s.workers)
+	mat.MulIntoWorkers(s.ll, s.l, s.l, s.workers)
 	s.scratch.SubInto(s.id, s.u)
 	if err := mat.FactorizeInto(s.lu, s.scratch); err != nil {
 		return false, err
 	}
 	s.lu.InverseInto(s.inv)
-	s.h.MulInto(s.inv, s.hh)
-	s.l.MulInto(s.inv, s.ll)
-	s.tl.MulInto(s.t, s.l) // shared by the G update and the step criterion below
+	mat.MulIntoWorkers(s.h, s.inv, s.hh, s.workers)
+	mat.MulIntoWorkers(s.l, s.inv, s.ll, s.workers)
+	mat.MulIntoWorkers(s.tl, s.t, s.l, s.workers) // shared by the G update and the step criterion below
 	s.g.AddInPlace(s.tl)
 	// For a recurrent QBD the row sums of G approach one; the defect
 	// measures remaining mass. For transient chains this never reaches
@@ -273,7 +330,7 @@ func (s *logRedState) step() (done bool, err error) {
 	if defect < 1e-13 || s.tl.MaxAbs() < 1e-15 {
 		return true, nil
 	}
-	s.scratch.MulInto(s.t, s.h)
+	mat.MulIntoWorkers(s.scratch, s.t, s.h, s.workers)
 	s.t, s.scratch = s.scratch, s.t
 	return false, nil
 }
@@ -284,17 +341,19 @@ func (s *logRedState) step() (done bool, err error) {
 // multiplication budget of this innermost solver loop (8·iters + 1 matrix
 // products).
 func logReduction(b0, b1, b2 *mat.Matrix) (*mat.Matrix, int, error) {
-	g, iters, _, err := logReductionObs(b0, b1, b2, nil, nil)
+	g, iters, _, err := logReductionObs(b0, b1, b2, nil, nil, 1)
 	return g, iters, err
 }
 
 // logReductionObs is logReduction drawing its working set from ws (nil ws
-// allocates) and reporting the per-iteration residual to o (nil o skips all
-// reporting — the unobserved loop stays allocation-free). The returned G is
-// not handed back to ws; every other buffer is released for reuse by later
-// solver stages. residual is G's defect after the final iteration.
-func logReductionObs(b0, b1, b2 *mat.Matrix, ws *mat.Workspace, o obs.Observer) (g *mat.Matrix, iters int, residual float64, err error) {
-	s := newLogRedState(b0.Rows(), ws)
+// allocates), reporting the per-iteration residual to o (nil o skips all
+// reporting — the unobserved loop stays allocation-free), and fanning its
+// block-row multiplies over workers goroutines (<= 1 serial; results are
+// bit-identical for every worker count). The returned G is not handed back
+// to ws; every other buffer is released for reuse by later solver stages.
+// residual is G's defect after the final iteration.
+func logReductionObs(b0, b1, b2 *mat.Matrix, ws *mat.Workspace, o obs.Observer, workers int) (g *mat.Matrix, iters int, residual float64, err error) {
+	s := newLogRedState(b0.Rows(), ws, workers)
 	defer s.release()
 	if err := s.start(b0, b1, b2); err != nil {
 		return nil, 0, 0, fmt.Errorf("qbd: logarithmic reduction: %w", err)
@@ -338,8 +397,13 @@ func (p *Process) rWS(ws *mat.Workspace, o obs.Observer) (*mat.Matrix, error) {
 		return nil, err
 	}
 	m := p.order
-	u := ws.Matrix(m, m)
-	u.MulInto(p.a0, g)
+	sA0, _ := p.sparseBlocks()
+	u := ws.MatrixUninit(m, m)
+	if sA0 != nil {
+		sA0.MulInto(u, g)
+	} else {
+		u.MulInto(p.a0, g)
+	}
 	u.AddInPlace(p.a1)
 	u.Scale(-1)
 	lu := ws.LU(m)
@@ -348,10 +412,14 @@ func (p *Process) rWS(ws *mat.Workspace, o obs.Observer) (*mat.Matrix, error) {
 		ws.ReleaseLU(lu)
 		return nil, fmt.Errorf("qbd: R: %w", err)
 	}
-	inv := ws.Matrix(m, m)
+	inv := ws.MatrixUninit(m, m)
 	lu.InverseInto(inv)
 	r := mat.New(m, m) // escapes into the Solution; never pooled
-	r.MulInto(p.a0, inv)
+	if sA0 != nil {
+		sA0.MulInto(r, inv)
+	} else {
+		r.MulInto(p.a0, inv)
+	}
 	ws.Release(g, u, inv)
 	ws.ReleaseLU(lu)
 	// Clamp round-off negatives: R is nonnegative in exact arithmetic.

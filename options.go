@@ -6,8 +6,30 @@ import (
 
 	"bgperf/internal/core"
 	"bgperf/internal/obs"
+	"bgperf/internal/qbd"
 	"bgperf/internal/sim"
 )
+
+// RScheme selects the matrix iteration the analytic solver uses to compute
+// the rate matrix R of the QBD chain. Both schemes converge to the same
+// minimal solution (they agree to 1e-12 on every model configuration, pinned
+// by tests); they differ in per-iteration cost.
+type RScheme = qbd.RScheme
+
+// R iteration schemes for WithRScheme.
+const (
+	// RSchemeCyclic is cyclic reduction (Bini–Meini) — the default and the
+	// faster scheme on every block size.
+	RSchemeCyclic = qbd.RSchemeCyclic
+	// RSchemeLogarithmic is logarithmic reduction (Latouche–Ramaswami), the
+	// scheme the paper cites; kept as an independent cross-check and for
+	// convergence traces in G-defect form.
+	RSchemeLogarithmic = qbd.RSchemeLogarithmic
+)
+
+// ParseRScheme maps "cyclic" / "logarithmic" back to the scheme constants
+// (the inverse of RScheme.String).
+func ParseRScheme(s string) (RScheme, error) { return qbd.ParseRScheme(s) }
 
 // Option configures a single call to one of the package entry points
 // (Solve, NewModel, Simulate, SimulateReplications, SolveMulti, FitMMPP2).
@@ -23,6 +45,7 @@ type callOpts struct {
 	ctx      context.Context
 	workers  int
 	reps     int
+	scheme   RScheme
 
 	// err defers option-argument validation to the call site, so invalid
 	// options surface as ordinary errors rather than panics.
@@ -68,11 +91,27 @@ func WithContext(ctx context.Context) Option {
 	return func(c *callOpts) { c.ctx = ctx }
 }
 
-// WithWorkers bounds the goroutine pool of parallel operations
-// (SimulateReplications) to n workers; n <= 0 means all cores. Results are
-// bit-identical for every worker count.
+// WithWorkers bounds the goroutine pool of parallel operations to n workers:
+// the replication sweep of SimulateReplications, and the block-row-banded
+// matrix multiplies inside the analytic solves (Solve, NewModel, SolveMulti).
+// n <= 0 means all cores for simulation and serial multiplies for the
+// analytic path. Results are bit-identical for every worker count.
 func WithWorkers(n int) Option {
 	return func(c *callOpts) { c.workers = n }
+}
+
+// WithRScheme selects the R iteration of the analytic solves (Solve,
+// NewModel, SolveMulti): RSchemeCyclic (the default) or RSchemeLogarithmic.
+// Both yield metrics that agree to far below the solver tolerance; the
+// option exists for cross-checking and for logarithmic-reduction convergence
+// traces under WithObserver.
+func WithRScheme(s RScheme) Option {
+	return func(c *callOpts) { c.scheme = s }
+}
+
+// tuning bundles the resolved solver knobs for the analytic entry points.
+func (c callOpts) tuning() qbd.Tuning {
+	return qbd.Tuning{Scheme: c.scheme, Workers: c.workers}
 }
 
 // WithReplications sets the number of independent simulation replications

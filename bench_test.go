@@ -10,6 +10,7 @@ package bgperf_test
 import (
 	"testing"
 
+	"bgperf"
 	"bgperf/internal/experiments"
 )
 
@@ -56,6 +57,32 @@ func BenchmarkFigure13(b *testing.B) { benchFigure(b, "13") }
 
 // BenchmarkValidation exercises the analytic-vs-simulation table (V-1).
 func BenchmarkValidation(b *testing.B) { benchFigure(b, "validation") }
+
+// BenchmarkSimEvents measures the raw event loop: one long single-class run
+// over the paper's MMPP(2) workload per iteration, reporting throughput as
+// events/sec alongside ns/op. This is the microbench behind the PR 7 event
+// loop rewrite; the window-gated Counters.Events drives the custom metric.
+func BenchmarkSimEvents(b *testing.B) {
+	m, err := bgperf.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bgperf.SimConfig{
+		Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4,
+		IdleRate: 1, Seed: 1, WarmupTime: 1000, MeasureTime: 2e6,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := bgperf.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Counters.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
 
 // BenchmarkAblation exercises the idle-policy and buffer ablations (A-1).
 func BenchmarkAblation(b *testing.B) { benchFigure(b, "ablation") }

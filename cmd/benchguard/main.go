@@ -2,9 +2,10 @@
 // recorded in a BENCH_*.json snapshot and fails when any guarded benchmark
 // regresses beyond the allowed slack.
 //
-//	go test -run=NONE -bench='BenchmarkScalability|BenchmarkExtension' \
+//	go test -run=NONE -bench='BenchmarkScalability|BenchmarkValidation' \
 //	    -benchmem -benchtime=3x -count=5 . > bench_output.txt
-//	go run ./cmd/benchguard -bench bench_output.txt -budget BENCH_PR6.json
+//	go run ./cmd/benchguard -bench bench_output.txt \
+//	    -budget BENCH_PR6.json -budget BENCH_PR7.json
 //
 // The budget for each benchmark is its "after.ns_op" value in the snapshot;
 // a run passes while measured-min ns/op <= budget × slack (default 1.25, i.e.
@@ -13,6 +14,12 @@
 // noise from wall-clock benchmarks on shared machines. Benchmarks present in
 // only one of the two inputs are reported but never fail the run, so the
 // snapshot can guard a subset of the suite.
+//
+// -budget repeats: later snapshots override earlier ones per benchmark name,
+// so stacked PR snapshots compose (each PR's file re-budgets the benchmarks
+// it touched and leaves the rest to older snapshots). With no -budget flags
+// the guard loads every BENCH_PR*.json in the working directory, oldest
+// first.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,9 +73,16 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	return mins, sc.Err()
 }
 
+// budgetList collects repeated -budget flags.
+type budgetList []string
+
+func (b *budgetList) String() string     { return strings.Join(*b, ",") }
+func (b *budgetList) Set(s string) error { *b = append(*b, s); return nil }
+
 func main() {
 	benchPath := flag.String("bench", "", "go test -bench output file (default stdin)")
-	budgetPath := flag.String("budget", "BENCH_PR6.json", "benchmark snapshot with after.ns_op budgets")
+	var budgetPaths budgetList
+	flag.Var(&budgetPaths, "budget", "benchmark snapshot with after.ns_op budgets (repeatable; later files override; default all BENCH_PR*.json)")
 	slack := flag.Float64("slack", 1.25, "allowed ratio of measured to budget ns/op before failing")
 	flag.Parse()
 
@@ -84,19 +99,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	raw, err := os.ReadFile(*budgetPath)
-	if err != nil {
-		fatal(err)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		fatal(fmt.Errorf("benchguard: parsing %s: %w", *budgetPath, err))
+	if len(budgetPaths) == 0 {
+		// Lexical sort puts PR snapshots oldest-first (single-digit PR
+		// numbers), so newer files override as documented.
+		matches, err := filepath.Glob("BENCH_PR*.json")
+		if err != nil || len(matches) == 0 {
+			fatal(fmt.Errorf("benchguard: no -budget flags and no BENCH_PR*.json in the working directory"))
+		}
+		sort.Strings(matches)
+		budgetPaths = matches
 	}
 
 	budgets := make(map[string]float64)
-	for _, b := range snap.Benchmarks {
-		if b.After.NsOp > 0 {
-			budgets[b.Name] = b.After.NsOp
+	for _, path := range budgetPaths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			fatal(fmt.Errorf("benchguard: parsing %s: %w", path, err))
+		}
+		for _, b := range snap.Benchmarks {
+			if b.After.NsOp > 0 {
+				budgets[b.Name] = b.After.NsOp
+			}
 		}
 	}
 	names := make([]string, 0, len(budgets))

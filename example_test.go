@@ -52,7 +52,7 @@ func ExampleSimulateReplications() {
 	fmt.Printf("FG queue length: %.2f ± %.2f\n", res.Mean.QLenFG, res.QLenFGHalf)
 	// Output:
 	// replications: 8
-	// FG queue length: 1.18 ± 0.03
+	// FG queue length: 1.15 ± 0.02
 }
 
 // ExampleWithObserver attaches a Diagnostics collector to a solve and reads

@@ -1,78 +1,86 @@
 package arrival
 
-import (
-	"math"
-	"math/rand"
-)
+import "bgperf/internal/rng"
 
 // Sampler draws inter-arrival times from a MAP by simulating its underlying
 // phase process. It is the bridge between the analytic workload models and
 // the event simulator / trace generator. A Sampler is not safe for concurrent
 // use; create one per goroutine.
+//
+// The per-phase transition tables are flattened into contiguous arrays
+// (indexed through off) and the generator is an inline xoshiro256** with a
+// ziggurat exponential sampler, so Next costs no interface dispatch, no
+// nested slice hops, and no math.Log on the common path. A Poisson MAP
+// (one phase whose only transition is an arrival back to itself) short-cuts
+// to a single exponential draw.
 type Sampler struct {
-	m   *MAP
-	rng *rand.Rand
+	rng   rng.Rand
+	phase int
 
-	phase     int
-	exitRates []float64
-	// Per-phase cumulative transition tables: first the D0 off-diagonal
+	// poissonScale is nonzero for the order-1 all-arrival fast path: the
+	// mean inter-arrival time, multiplying a unit exponential draw.
+	poissonScale float64
+
+	// invExit[i] is the mean sojourn 1/(−D0[i][i]) of phase i, multiplying
+	// unit exponential draws (a validated MAP has no absorbing phase, so
+	// every exit rate is strictly positive).
+	invExit []float64
+	// Flattened per-phase cumulative transition tables: entries
+	// off[i]..off[i+1]-1 belong to phase i, first the D0 off-diagonal
 	// targets (no arrival), then the D1 targets (arrival).
-	cumProb [][]float64
-	target  [][]int
-	arrival [][]bool
+	off     []int32
+	cumProb []float64
+	target  []int32
+	arrival []bool
 }
 
 // NewSampler returns a sampler for m seeded deterministically by seed. The
 // initial phase is drawn from the time-stationary distribution so the
 // generated sequence starts in steady state.
 func NewSampler(m *MAP, seed int64) *Sampler {
-	s := &Sampler{m: m, rng: rand.New(rand.NewSource(seed))}
+	s := &Sampler{rng: rng.New(seed)}
 	n := m.Order()
-	s.exitRates = make([]float64, n)
-	s.cumProb = make([][]float64, n)
-	s.target = make([][]int, n)
-	s.arrival = make([][]bool, n)
+	s.invExit = make([]float64, n)
+	s.off = make([]int32, n+1)
 	for i := 0; i < n; i++ {
 		exit := -m.d0.At(i, i)
-		s.exitRates[i] = exit
-		var probs []float64
-		var targets []int
-		var arrivals []bool
+		s.invExit[i] = 1 / exit
 		acc := 0.0
 		for j := 0; j < n; j++ {
 			if j != i && m.d0.At(i, j) > 0 {
 				acc += m.d0.At(i, j) / exit
-				probs = append(probs, acc)
-				targets = append(targets, j)
-				arrivals = append(arrivals, false)
+				s.cumProb = append(s.cumProb, acc)
+				s.target = append(s.target, int32(j))
+				s.arrival = append(s.arrival, false)
 			}
 		}
 		for j := 0; j < n; j++ {
 			if m.d1.At(i, j) > 0 {
 				acc += m.d1.At(i, j) / exit
-				probs = append(probs, acc)
-				targets = append(targets, j)
-				arrivals = append(arrivals, true)
+				s.cumProb = append(s.cumProb, acc)
+				s.target = append(s.target, int32(j))
+				s.arrival = append(s.arrival, true)
 			}
 		}
-		s.cumProb[i] = probs
-		s.target[i] = targets
-		s.arrival[i] = arrivals
+		s.off[i+1] = int32(len(s.cumProb))
 	}
-	s.phase = s.drawStationaryPhase()
+	if n == 1 && len(s.arrival) == 1 && s.arrival[0] && s.invExit[0] > 0 {
+		s.poissonScale = s.invExit[0]
+	}
+	s.phase = s.drawStationaryPhase(m)
 	return s
 }
 
-func (s *Sampler) drawStationaryPhase() int {
+func (s *Sampler) drawStationaryPhase(m *MAP) int {
 	u := s.rng.Float64()
 	acc := 0.0
-	for i, p := range s.m.pi {
+	for i, p := range m.pi {
 		acc += p
 		if u < acc {
 			return i
 		}
 	}
-	return s.m.Order() - 1
+	return m.Order() - 1
 }
 
 // Phase returns the current phase of the modulating chain.
@@ -80,30 +88,25 @@ func (s *Sampler) Phase() int { return s.phase }
 
 // Next returns the time until the next arrival, advancing the phase process.
 func (s *Sampler) Next() float64 {
+	if s.poissonScale > 0 {
+		return s.rng.ExpFloat64() * s.poissonScale
+	}
 	var t float64
 	for {
 		i := s.phase
-		t += s.exp(s.exitRates[i])
+		t += s.rng.ExpFloat64() * s.invExit[i]
 		u := s.rng.Float64()
-		probs := s.cumProb[i]
-		k := len(probs) - 1
-		for idx, p := range probs {
-			if u < p {
-				k = idx
+		end := s.off[i+1]
+		k := end - 1
+		for j := s.off[i]; j < end; j++ {
+			if u < s.cumProb[j] {
+				k = j
 				break
 			}
 		}
-		s.phase = s.target[i][k]
-		if s.arrival[i][k] {
+		s.phase = int(s.target[k])
+		if s.arrival[k] {
 			return t
 		}
 	}
-}
-
-// exp draws an exponential variate with the given rate.
-func (s *Sampler) exp(rate float64) float64 {
-	if rate <= 0 {
-		return math.Inf(1)
-	}
-	return -math.Log(1-s.rng.Float64()) / rate
 }

@@ -194,21 +194,22 @@ var t95 = []float64{
 // replicationHalfWidth is the ±half-width of a 95% Student-t confidence
 // interval on the across-replication mean of the given metric. sim exports
 // half-widths only for the headline queue lengths; the conformance harness
-// needs them for WaitPFG and CompBG too, so it derives them from the raw
-// per-replication results.
+// needs them for WaitPFG and CompBG too, so it derives them from the compact
+// per-replication metric rows (populated at any replication count, unlike
+// the full Replications slice).
 func replicationHalfWidth(agg *sim.ReplicationResult, get func(core.Metrics) float64) float64 {
-	n := len(agg.Replications)
+	n := len(agg.RepMetrics)
 	if n < 2 {
 		return 0
 	}
 	var mean float64
-	for _, r := range agg.Replications {
-		mean += get(r.Metrics)
+	for _, m := range agg.RepMetrics {
+		mean += get(m)
 	}
 	mean /= float64(n)
 	var ss float64
-	for _, r := range agg.Replications {
-		d := get(r.Metrics) - mean
+	for _, m := range agg.RepMetrics {
+		d := get(m) - mean
 		ss += d * d
 	}
 	sd := math.Sqrt(ss / float64(n-1))

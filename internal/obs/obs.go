@@ -95,11 +95,19 @@ type SimCounters struct {
 	DroppedBG       int64 `json:"droppedBG"`
 	CompletedBG     int64 `json:"completedBG"`
 	IdleExpirations int64 `json:"idleExpirations"`
+	// Events is the simulator's own count of events processed inside the
+	// measurement window (each event may bump several of the counters
+	// above).
+	Events int64 `json:"events"`
 }
 
-// total returns the sum of every counter — the "events" figure mirrored to
-// expvar.
+// total returns the "events" figure mirrored to expvar: the simulator's own
+// event count when reported (PR 7+), otherwise the legacy sum of the
+// per-kind counters.
 func (c SimCounters) total() int64 {
+	if c.Events > 0 {
+		return c.Events
+	}
 	return c.ArrivalsFG + c.CompletedFG + c.DelayedFG + c.GeneratedBG +
 		c.AdmittedBG + c.DroppedBG + c.CompletedBG + c.IdleExpirations
 }
@@ -114,6 +122,7 @@ func (c *SimCounters) add(o SimCounters) {
 	c.DroppedBG += o.DroppedBG
 	c.CompletedBG += o.CompletedBG
 	c.IdleExpirations += o.IdleExpirations
+	c.Events += o.Events
 }
 
 // FitDiag records how closely a MAP fit matched its target descriptors

@@ -3,11 +3,10 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math"
-	"math/rand"
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
+	"bgperf/internal/rng"
 )
 
 // ErrMultiConfig reports an invalid two-priority simulation configuration.
@@ -74,18 +73,26 @@ type MultiCounters struct {
 	DroppedBG2   int64
 	CompletedBG1 int64
 	CompletedBG2 int64
+	Events       int64 // total events processed inside the window
 }
 
 // MultiResult holds measured estimates of a two-priority run. The metric
-// names mirror multiclass.Metrics.
+// names mirror multiclass.Metrics; RespTimeFG and its percentiles are
+// simulator extras the analytic model does not expose.
 type MultiResult struct {
 	QLenFG, QLenBG1, QLenBG2     float64
 	CompBG1, CompBG2, WaitPFG    float64
 	UtilFG, UtilBG1, UtilBG2     float64
 	ProbIdleWait, ProbEmpty      float64
 	ThroughputBG1, ThroughputBG2 float64
-	Counters                     MultiCounters
-	SimTime                      float64
+	// RespTimeFG is the mean foreground response time; RespTimeFGP95 and
+	// RespTimeFGP99 are streaming P² percentile estimates (0 when no FG job
+	// completed in-window).
+	RespTimeFG    float64
+	RespTimeFGP95 float64
+	RespTimeFGP99 float64
+	Counters      MultiCounters
+	SimTime       float64
 }
 
 type multiState int
@@ -97,6 +104,104 @@ const (
 	mServingBG1
 	mServingBG2
 )
+
+// multiRunState is the flattened event-loop state of the two-priority
+// simulator — the same machinery as runState (inline xoshiro256** stream,
+// branch-based window clipping, ring-buffer FIFO), with per-class background
+// queues instead of one.
+type multiRunState struct {
+	rng       rng.Rand
+	sampler   *arrival.Sampler
+	svcScale  float64 // 1/ServiceRate
+	idleScale float64 // 1/IdleRate
+	perPeriod bool
+
+	now        float64
+	nextArr    float64
+	serviceEnd float64
+	idleExpiry float64
+	state      multiState
+	fgQueue    int
+	bg1, bg2   int // waiting per class (excluding in service)
+	fgTimes    fifo
+
+	measStart float64
+	measEnd   float64
+	fgArea    float64
+	bg1Area   float64
+	bg2Area   float64
+	utilFG    float64
+	utilB1    float64
+	utilB2    float64
+	idleW     float64
+	emptyT    float64
+	respSum   float64
+	p95, p99  p2Quantile
+	counters  MultiCounters
+}
+
+func (rs *multiRunState) accumulate(next float64) {
+	lo, hi := rs.now, next
+	if lo < rs.measStart {
+		lo = rs.measStart
+	}
+	if hi > rs.measEnd {
+		hi = rs.measEnd
+	}
+	if hi <= lo {
+		return
+	}
+	span := hi - lo
+	nf, n1, n2 := float64(rs.fgQueue), float64(rs.bg1), float64(rs.bg2)
+	switch rs.state {
+	case mServingFG:
+		nf++
+		rs.utilFG += span
+	case mServingBG1:
+		n1++
+		rs.utilB1 += span
+	case mServingBG2:
+		n2++
+		rs.utilB2 += span
+	case mIdleWait:
+		rs.idleW += span
+	default:
+		rs.emptyT += span
+	}
+	rs.fgArea += nf * span
+	rs.bg1Area += n1 * span
+	rs.bg2Area += n2 * span
+}
+
+func (rs *multiRunState) startFG() {
+	rs.fgQueue--
+	rs.state = mServingFG
+	rs.serviceEnd = rs.now + rs.rng.ExpFloat64()*rs.svcScale
+	rs.idleExpiry = inf
+}
+
+func (rs *multiRunState) startBG() {
+	if rs.bg1 > 0 {
+		rs.bg1--
+		rs.state = mServingBG1
+	} else {
+		rs.bg2--
+		rs.state = mServingBG2
+	}
+	rs.serviceEnd = rs.now + rs.rng.ExpFloat64()*rs.svcScale
+	rs.idleExpiry = inf
+}
+
+func (rs *multiRunState) armIdleOrRest() {
+	rs.serviceEnd = inf
+	if rs.bg1+rs.bg2 > 0 {
+		rs.state = mIdleWait
+		rs.idleExpiry = rs.now + rs.rng.ExpFloat64()*rs.idleScale
+	} else {
+		rs.state = mIdle
+		rs.idleExpiry = inf
+	}
+}
 
 // RunMulti simulates the two-priority system.
 func RunMulti(cfg MultiConfig) (*MultiResult, error) {
@@ -113,182 +218,105 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	for i := 0; i < 3; i++ {
 		seeds.next()
 	}
-	var (
-		rng     = rand.New(rand.NewSource(seeds.next()))
-		sampler = arrival.NewSampler(cfg.Arrival, seeds.next())
+	var rs multiRunState
+	rs.rng = rng.New(seeds.next())
+	rs.sampler = arrival.NewSampler(cfg.Arrival, seeds.next())
+	rs.svcScale = 1 / cfg.ServiceRate
+	rs.idleScale = 1 / cfg.IdleRate
+	rs.perPeriod = cfg.IdlePolicy == core.IdleWaitPerPeriod
+	rs.state = mIdle
+	rs.nextArr = rs.sampler.Next()
+	rs.serviceEnd = inf
+	rs.idleExpiry = inf
+	rs.fgTimes.init(fifoInitialCap)
+	rs.measStart = cfg.WarmupTime
+	rs.measEnd = cfg.WarmupTime + cfg.MeasureTime
+	rs.p95.initP2(0.95)
+	rs.p99.initP2(0.99)
 
-		now        float64
-		state      = mIdle
-		fgQueue    int
-		bg1, bg2   int // waiting per class (excluding in service)
-		nextArr    = sampler.Next()
-		serviceEnd = math.MaxFloat64
-		idleExp    = math.MaxFloat64
-
-		measStart = cfg.WarmupTime
-		measEnd   = cfg.WarmupTime + cfg.MeasureTime
-
-		res                      MultiResult
-		fgArea, bg1Area, bg2Area float64
-		utilFG, utilB1, utilB2   float64
-		idleW, emptyT            float64
-	)
-	expo := func(rate float64) float64 { return -math.Log(1-rng.Float64()) / rate }
-	counts := func() (nf, n1, n2 float64) {
-		nf, n1, n2 = float64(fgQueue), float64(bg1), float64(bg2)
-		switch state {
-		case mServingFG:
-			nf++
-		case mServingBG1:
-			n1++
-		case mServingBG2:
-			n2++
+	for rs.now < rs.measEnd {
+		// Same tie-break as Run: arrival, then service completion, then
+		// idle expiry at equal timestamps (see nextEvent).
+		next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry)
+		rs.accumulate(next)
+		rs.now = next
+		in := next >= rs.measStart && next < rs.measEnd
+		if in {
+			rs.counters.Events++
 		}
-		return nf, n1, n2
-	}
-	accumulate := func(dt float64) {
-		lo := math.Max(now, measStart)
-		hi := math.Min(now+dt, measEnd)
-		if hi <= lo {
-			return
-		}
-		span := hi - lo
-		nf, n1, n2 := counts()
-		fgArea += nf * span
-		bg1Area += n1 * span
-		bg2Area += n2 * span
-		switch state {
-		case mServingFG:
-			utilFG += span
-		case mServingBG1:
-			utilB1 += span
-		case mServingBG2:
-			utilB2 += span
-		case mIdleWait:
-			idleW += span
-		case mIdle:
-			emptyT += span
-		}
-	}
-	inWindow := func() bool { return now >= measStart && now < measEnd }
-	startFG := func() {
-		fgQueue--
-		state = mServingFG
-		serviceEnd = now + expo(cfg.ServiceRate)
-		idleExp = math.MaxFloat64
-	}
-	startBG := func() {
-		if bg1 > 0 {
-			bg1--
-			state = mServingBG1
-		} else {
-			bg2--
-			state = mServingBG2
-		}
-		serviceEnd = now + expo(cfg.ServiceRate)
-		idleExp = math.MaxFloat64
-	}
-	armIdleOrRest := func() {
-		serviceEnd = math.MaxFloat64
-		if bg1+bg2 > 0 {
-			state = mIdleWait
-			idleExp = now + expo(cfg.IdleRate)
-		} else {
-			state = mIdle
-			idleExp = math.MaxFloat64
-		}
-	}
-	spawnBG := func() {
-		u := rng.Float64()
-		switch {
-		case u < cfg.BG1Prob:
-			if inWindow() {
-				res.Counters.GeneratedBG1++
-			}
-			if bg1 < cfg.BG1Buffer {
-				bg1++
-			} else if inWindow() {
-				res.Counters.DroppedBG1++
-			}
-		case u < cfg.BG1Prob+cfg.BG2Prob:
-			if inWindow() {
-				res.Counters.GeneratedBG2++
-			}
-			if bg2 < cfg.BG2Buffer {
-				bg2++
-			} else if inWindow() {
-				res.Counters.DroppedBG2++
-			}
-		}
-	}
-
-	for now < measEnd {
-		next := math.Min(nextArr, math.Min(serviceEnd, idleExp))
-		accumulate(next - now)
-		now = next
-		switch {
-		case now == nextArr:
-			if inWindow() {
-				res.Counters.ArrivalsFG++
-				if state == mServingBG1 || state == mServingBG2 {
-					res.Counters.DelayedFG++
+		switch kind {
+		case evArrival:
+			if in {
+				rs.counters.ArrivalsFG++
+				if rs.state == mServingBG1 || rs.state == mServingBG2 {
+					rs.counters.DelayedFG++
 				}
 			}
-			fgQueue++
-			if state == mIdle || state == mIdleWait {
-				startFG()
+			rs.fgQueue++
+			rs.fgTimes.push(next)
+			if rs.state == mIdle || rs.state == mIdleWait {
+				rs.startFG()
 			}
-			nextArr = now + sampler.Next()
+			rs.nextArr = next + rs.sampler.Next()
 
-		case now == serviceEnd:
-			switch state {
+		case evService:
+			switch rs.state {
 			case mServingFG:
-				if inWindow() {
-					res.Counters.CompletedFG++
-				}
-				spawnBG()
-				if fgQueue > 0 {
-					startFG()
-				} else {
-					armIdleOrRest()
-				}
-			case mServingBG1, mServingBG2:
-				if inWindow() {
-					if state == mServingBG1 {
-						res.Counters.CompletedBG1++
-					} else {
-						res.Counters.CompletedBG2++
+				t0 := rs.fgTimes.pop()
+				if in {
+					rs.counters.CompletedFG++
+					resp := next - t0
+					rs.respSum += resp
+					// Same P² decimation as Run (see p2Stride).
+					if rs.counters.CompletedFG&(p2Stride-1) == 1 {
+						rs.p95.add(resp)
+						rs.p99.add(resp)
 					}
 				}
-				if fgQueue > 0 {
-					startFG()
-				} else if bg1+bg2 > 0 && cfg.IdlePolicy == core.IdleWaitPerPeriod {
-					startBG()
+				rs.spawnBG(in, cfg)
+				if rs.fgQueue > 0 {
+					rs.startFG()
 				} else {
-					armIdleOrRest()
+					rs.armIdleOrRest()
+				}
+			case mServingBG1, mServingBG2:
+				if in {
+					if rs.state == mServingBG1 {
+						rs.counters.CompletedBG1++
+					} else {
+						rs.counters.CompletedBG2++
+					}
+				}
+				if rs.fgQueue > 0 {
+					rs.startFG()
+				} else if rs.bg1+rs.bg2 > 0 && rs.perPeriod {
+					rs.startBG()
+				} else {
+					rs.armIdleOrRest()
 				}
 			default:
-				return nil, fmt.Errorf("sim: multiclass completion in state %d", state)
+				return nil, fmt.Errorf("sim: multiclass completion in state %d", rs.state)
 			}
 
 		default:
-			if state != mIdleWait || bg1+bg2 == 0 {
-				return nil, fmt.Errorf("sim: multiclass idle expiry in state %d", state)
+			if rs.state != mIdleWait || rs.bg1+rs.bg2 == 0 {
+				return nil, fmt.Errorf("sim: multiclass idle expiry in state %d", rs.state)
 			}
-			startBG()
+			rs.startBG()
 		}
 	}
 
+	res := &MultiResult{Counters: rs.counters}
 	t := cfg.MeasureTime
 	res.SimTime = t
-	res.QLenFG = fgArea / t
-	res.QLenBG1 = bg1Area / t
-	res.QLenBG2 = bg2Area / t
-	res.UtilFG = utilFG / t
-	res.UtilBG1 = utilB1 / t
-	res.UtilBG2 = utilB2 / t
-	res.ProbIdleWait = idleW / t
-	res.ProbEmpty = emptyT / t
+	res.QLenFG = rs.fgArea / t
+	res.QLenBG1 = rs.bg1Area / t
+	res.QLenBG2 = rs.bg2Area / t
+	res.UtilFG = rs.utilFG / t
+	res.UtilBG1 = rs.utilB1 / t
+	res.UtilBG2 = rs.utilB2 / t
+	res.ProbIdleWait = rs.idleW / t
+	res.ProbEmpty = rs.emptyT / t
 	res.ThroughputBG1 = float64(res.Counters.CompletedBG1) / t
 	res.ThroughputBG2 = float64(res.Counters.CompletedBG2) / t
 	res.CompBG1, res.CompBG2 = 1, 1
@@ -301,5 +329,36 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	if res.Counters.ArrivalsFG > 0 {
 		res.WaitPFG = float64(res.Counters.DelayedFG) / float64(res.Counters.ArrivalsFG)
 	}
-	return &res, nil
+	if res.Counters.CompletedFG > 0 {
+		res.RespTimeFG = rs.respSum / float64(res.Counters.CompletedFG)
+		res.RespTimeFGP95 = rs.p95.Value()
+		res.RespTimeFGP99 = rs.p99.Value()
+	}
+	return res, nil
+}
+
+// spawnBG flips the class coin after a foreground completion and admits or
+// drops the spawned job against its class buffer.
+func (rs *multiRunState) spawnBG(in bool, cfg MultiConfig) {
+	u := rs.rng.Float64()
+	switch {
+	case u < cfg.BG1Prob:
+		if in {
+			rs.counters.GeneratedBG1++
+		}
+		if rs.bg1 < cfg.BG1Buffer {
+			rs.bg1++
+		} else if in {
+			rs.counters.DroppedBG1++
+		}
+	case u < cfg.BG1Prob+cfg.BG2Prob:
+		if in {
+			rs.counters.GeneratedBG2++
+		}
+		if rs.bg2 < cfg.BG2Buffer {
+			rs.bg2++
+		} else if in {
+			rs.counters.DroppedBG2++
+		}
+	}
 }

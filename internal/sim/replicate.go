@@ -11,6 +11,13 @@ import (
 	"bgperf/internal/par"
 )
 
+// KeepReplicationsMax is the largest replication count for which
+// RunReplications retains the full per-replication Results (counters, batch
+// half-widths) in ReplicationResult.Replications. Beyond it only the compact
+// RepMetrics rows are kept, so the memory of a replication study is bounded
+// by ~100 bytes per replication regardless of scale.
+const KeepReplicationsMax = 64
+
 // ReplicationResult aggregates independent simulation replications of one
 // configuration: the across-replication mean of every metric plus ~95%
 // confidence half-widths on the headline queue lengths and the foreground
@@ -18,6 +25,10 @@ import (
 type ReplicationResult struct {
 	// Mean holds the arithmetic mean of each metric across replications.
 	Mean core.Metrics `json:"mean"`
+	// RespTimeFGP95 and RespTimeFGP99 are across-replication means of the
+	// per-replication streaming percentile estimates (see Result).
+	RespTimeFGP95 float64 `json:"respTimeFGP95"`
+	RespTimeFGP99 float64 `json:"respTimeFGP99"`
 	// Reps is the number of replications aggregated.
 	Reps int `json:"reps"`
 	// QLenFGHalf, QLenBGHalf, and RespTimeFGHalf are ±half-widths of ~95%
@@ -27,8 +38,14 @@ type ReplicationResult struct {
 	QLenFGHalf     float64 `json:"qlenFGHalf"`
 	QLenBGHalf     float64 `json:"qlenBGHalf"`
 	RespTimeFGHalf float64 `json:"respTimeFGHalf"`
-	// Replications are the underlying per-replication results, in seed
-	// order. Excluded from JSON output to keep it compact.
+	// RepMetrics holds the per-replication metric rows in seed order —
+	// compact (no counters or batch detail) and always populated, so
+	// dispersion diagnostics work at any replication count. Excluded from
+	// JSON output to keep it compact.
+	RepMetrics []core.Metrics `json:"-"`
+	// Replications are the underlying full per-replication results, in seed
+	// order. Populated only when Reps <= KeepReplicationsMax; large studies
+	// keep just RepMetrics. Excluded from JSON output.
 	Replications []*Result `json:"-"`
 }
 
@@ -54,7 +71,15 @@ func RunReplicationsOpts(ctx context.Context, cfg Config, reps, workers int, o o
 	if reps < 1 {
 		return nil, core.NewValidationError(ErrConfig, "Replications", "need at least 1 replication, got %d", reps)
 	}
-	results := make([]*Result, reps)
+	agg := &ReplicationResult{Reps: reps, RepMetrics: make([]core.Metrics, reps)}
+	keep := reps <= KeepReplicationsMax
+	if keep {
+		agg.Replications = make([]*Result, reps)
+	}
+	// Per-replication percentile estimates, aggregated after the fan-out in
+	// seed order so the result is bit-identical for every worker count.
+	p95s := make([]float64, reps)
+	p99s := make([]float64, reps)
 	var done atomic.Int64
 	err := par.ForCtx(ctx, workers, reps, func(r int) error {
 		repCfg := cfg
@@ -63,7 +88,11 @@ func RunReplicationsOpts(ctx context.Context, cfg Config, reps, workers int, o o
 		if err != nil {
 			return fmt.Errorf("replication %d (seed %d): %w", r, repCfg.Seed, err)
 		}
-		results[r] = res
+		agg.RepMetrics[r] = res.Metrics
+		p95s[r], p99s[r] = res.RespTimeFGP95, res.RespTimeFGP99
+		if keep {
+			agg.Replications[r] = res
+		}
 		if o != nil {
 			o.ReplicationDone(int(done.Add(1)), reps)
 		}
@@ -72,19 +101,22 @@ func RunReplicationsOpts(ctx context.Context, cfg Config, reps, workers int, o o
 	if err != nil {
 		return nil, err
 	}
-	agg := &ReplicationResult{Reps: reps, Replications: results}
-	for _, res := range results {
-		addMetrics(&agg.Mean, res.Metrics)
+	for r := range agg.RepMetrics {
+		addMetrics(&agg.Mean, agg.RepMetrics[r])
+		agg.RespTimeFGP95 += p95s[r]
+		agg.RespTimeFGP99 += p99s[r]
 	}
 	scaleMetrics(&agg.Mean, 1/float64(reps))
+	agg.RespTimeFGP95 /= float64(reps)
+	agg.RespTimeFGP99 /= float64(reps)
 	if reps == 1 {
-		agg.QLenFGHalf = results[0].QLenFGHalf
-		agg.QLenBGHalf = results[0].QLenBGHalf
+		agg.QLenFGHalf = agg.Replications[0].QLenFGHalf
+		agg.QLenBGHalf = agg.Replications[0].QLenBGHalf
 		return agg, nil
 	}
-	agg.QLenFGHalf = tHalfWidth(results, func(r *Result) float64 { return r.Metrics.QLenFG })
-	agg.QLenBGHalf = tHalfWidth(results, func(r *Result) float64 { return r.Metrics.QLenBG })
-	agg.RespTimeFGHalf = tHalfWidth(results, func(r *Result) float64 { return r.Metrics.RespTimeFG })
+	agg.QLenFGHalf = tHalfWidth(agg.RepMetrics, func(m *core.Metrics) float64 { return m.QLenFG })
+	agg.QLenBGHalf = tHalfWidth(agg.RepMetrics, func(m *core.Metrics) float64 { return m.QLenBG })
+	agg.RespTimeFGHalf = tHalfWidth(agg.RepMetrics, func(m *core.Metrics) float64 { return m.RespTimeFG })
 	return agg, nil
 }
 
@@ -143,19 +175,19 @@ func tCritical95(df int) float64 {
 }
 
 // tHalfWidth returns the ±half-width of a 95% Student-t confidence interval
-// for the mean of value(r) across the replications.
-func tHalfWidth(results []*Result, value func(*Result) float64) float64 {
-	n := float64(len(results))
+// for the mean of value(m) across the replication metric rows.
+func tHalfWidth(rows []core.Metrics, value func(*core.Metrics) float64) float64 {
+	n := float64(len(rows))
 	var mean float64
-	for _, r := range results {
-		mean += value(r)
+	for i := range rows {
+		mean += value(&rows[i])
 	}
 	mean /= n
 	var ss float64
-	for _, r := range results {
-		d := value(r) - mean
+	for i := range rows {
+		d := value(&rows[i]) - mean
 		ss += d * d
 	}
 	sd := math.Sqrt(ss / (n - 1))
-	return tCritical95(len(results)-1) * sd / math.Sqrt(n)
+	return tCritical95(len(rows)-1) * sd / math.Sqrt(n)
 }

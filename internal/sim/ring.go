@@ -1,0 +1,72 @@
+package sim
+
+// fifo is a reusable FIFO of float64 timestamps backed by a power-of-two
+// ring buffer. It replaces the earlier `queue = append(queue, x)` /
+// `queue = queue[1:]` idiom, which leaks capacity: reslicing from the front
+// never returns space to the runtime, so append keeps outgrowing the backing
+// array and every simulated job eventually costs an amortized reallocation.
+// The ring reuses its slots forever; it grows (doubling) only when the
+// population in system genuinely exceeds the current capacity, so a run's
+// allocation count is independent of its length once the high-water mark is
+// reached (pinned by TestRingReuse and the AllocsPerRun gates).
+type fifo struct {
+	buf  []float64
+	mask int // len(buf) - 1; len(buf) is a power of two
+	head int // index of the oldest element
+	n    int // population
+}
+
+// fifoInitialCap is the initial ring capacity (slots). It is sized so that
+// queue populations seen in practice never force a mid-run grow — growth
+// during measurement would make allocation counts depend on run length.
+const fifoInitialCap = 4096
+
+// init sizes the ring to capacity c rounded up to a power of two (minimum 8),
+// reusing the existing backing array when it is already large enough.
+func (f *fifo) init(c int) {
+	size := 8
+	for size < c {
+		size <<= 1
+	}
+	if len(f.buf) < size {
+		f.buf = make([]float64, size)
+	}
+	f.mask = len(f.buf) - 1
+	f.head = 0
+	f.n = 0
+}
+
+// push appends x at the tail, growing the ring if it is full.
+func (f *fifo) push(x float64) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&f.mask] = x
+	f.n++
+}
+
+// pop removes and returns the oldest element. It must not be called on an
+// empty ring (the simulator pops exactly once per in-service completion).
+func (f *fifo) pop() float64 {
+	x := f.buf[f.head]
+	f.head = (f.head + 1) & f.mask
+	f.n--
+	return x
+}
+
+// len returns the current population.
+func (f *fifo) len() int { return f.n }
+
+// cap returns the current slot capacity (for tests).
+func (f *fifo) cap() int { return len(f.buf) }
+
+// grow doubles the backing array, unrolling the ring into index order.
+func (f *fifo) grow() {
+	next := make([]float64, 2*len(f.buf))
+	for i := 0; i < f.n; i++ {
+		next[i] = f.buf[(f.head+i)&f.mask]
+	}
+	f.buf = next
+	f.mask = len(next) - 1
+	f.head = 0
+}

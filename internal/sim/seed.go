@@ -1,5 +1,7 @@
 package sim
 
+import "bgperf/internal/rng"
+
 // Random-stream seed derivation.
 //
 // A single Run owns several independent random streams: the event RNG
@@ -29,20 +31,20 @@ package sim
 // astronomically large relative to any replication count, the streams of all
 // replications of a study are pairwise distinct (pinned by
 // TestStreamSeedsPairwiseDistinct).
+//
+// The mixer itself lives in internal/rng (rng.SplitMix) since PR 7, shared
+// with the generator-seeding path; the derived seed sequence is bit-for-bit
+// identical to the pre-rng layout (pinned by TestSeedStreamMatchesReference).
 
 // seedStream derives a sequence of well-separated stream seeds from one base
 // seed via SplitMix64. The zero value is not meaningful; construct with
 // newSeedStream.
-type seedStream struct{ state uint64 }
+type seedStream struct{ sm rng.SplitMix }
 
 // newSeedStream returns a derivation sequence for the given run seed.
-func newSeedStream(seed int64) seedStream { return seedStream{state: uint64(seed)} }
+func newSeedStream(seed int64) seedStream {
+	return seedStream{sm: rng.NewSplitMix(uint64(seed))}
+}
 
 // next returns the next derived stream seed.
-func (s *seedStream) next() int64 {
-	s.state += 0x9e3779b97f4a7c15 // golden-ratio increment γ
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
-}
+func (s *seedStream) next() int64 { return int64(s.sm.Uint64()) }

@@ -1,10 +1,10 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"bgperf/internal/arrival"
+	"bgperf/internal/rng"
 )
 
 // streamSeedsFor reproduces Run's stream derivation for one replication:
@@ -110,10 +110,13 @@ func TestRunReplicationZeroMatchesRun(t *testing.T) {
 }
 
 // TestStreamSeedsFeedDistinctStreams spot-checks that the derived seeds
-// actually decorrelate the underlying math/rand sources: the first draws of
-// the three streams of one run, and of neighbouring replications, differ.
+// actually decorrelate the generators they feed: the first draws of the
+// three streams of one run, and of neighbouring replications, differ.
 func TestStreamSeedsFeedDistinctStreams(t *testing.T) {
-	draw := func(seed int64) float64 { return rand.New(rand.NewSource(seed)).Float64() }
+	draw := func(seed int64) float64 {
+		r := rng.New(seed)
+		return r.Float64()
+	}
 	seen := make(map[float64]bool)
 	for r := int64(0); r < 100; r++ {
 		for _, s := range streamSeedsFor(r) {
@@ -122,6 +125,34 @@ func TestStreamSeedsFeedDistinctStreams(t *testing.T) {
 				t.Fatalf("replications share a first draw %v", v)
 			}
 			seen[v] = true
+		}
+	}
+}
+
+// TestSeedStreamMatchesReference pins the derived stream-seed sequence
+// bit-for-bit against an inline transcription of the SplitMix64 mixer that
+// seed.go carried before the derivation moved into internal/rng (PR 7).
+// Every pinned simulation output in the repository embeds these seeds; any
+// drift would silently re-seed every stream of every run.
+func TestSeedStreamMatchesReference(t *testing.T) {
+	legacy := func(seed int64, k int) int64 {
+		state := uint64(seed)
+		var z uint64
+		for i := 0; i < k; i++ {
+			state += 0x9e3779b97f4a7c15
+			z = state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+		}
+		return int64(z)
+	}
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 50} {
+		s := newSeedStream(seed)
+		for k := 1; k <= 8; k++ {
+			if got, want := s.next(), legacy(seed, k); got != want {
+				t.Fatalf("seed %d stream index %d: got %#x, want %#x", seed, k, got, want)
+			}
 		}
 	}
 }

@@ -3,6 +3,13 @@
 // analytically, implemented independently so the two act as cross-checks.
 // The simulator additionally supports semantics the Markov chain cannot
 // express, such as deterministic idle waits.
+//
+// The event loop is built for throughput (millions of events per second):
+// all run state lives in a flat runState struct (no closure captures), the
+// random streams are inline xoshiro256** generators with ziggurat
+// exponential sampling (internal/rng), window clipping is branch-based with
+// a monotone batch cursor, and the FG response-time FIFO is a reusable ring
+// buffer — so steady-state event processing performs no heap allocations.
 package sim
 
 import (
@@ -10,12 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
 	"bgperf/internal/obs"
 	"bgperf/internal/phtype"
+	"bgperf/internal/rng"
 )
 
 // ErrConfig reports an invalid simulation configuration.
@@ -154,6 +161,7 @@ type Counters struct {
 	DroppedBG       int64
 	CompletedBG     int64
 	IdleExpirations int64 // idle-wait timers that expired and started BG service
+	Events          int64 // total events processed inside the window
 }
 
 // Result holds the measured steady-state estimates.
@@ -161,6 +169,11 @@ type Result struct {
 	// Metrics mirrors the analytic metric set; CompBG here is
 	// admitted/generated and WaitPFG is delayed/arrivals.
 	Metrics core.Metrics
+	// RespTimeFGP95 is the streaming P² estimate of the 95th-percentile
+	// foreground response time over the measurement window; RespTimeFGP99
+	// likewise for the 99th. Both are 0 when no FG job completed in-window.
+	RespTimeFGP95 float64
+	RespTimeFGP99 float64
 	// QLenFGHalf is the ±half-width of a ~95% batch-means confidence
 	// interval on Metrics.QLenFG; QLenBGHalf likewise.
 	QLenFGHalf float64
@@ -181,6 +194,228 @@ const (
 )
 
 const inf = math.MaxFloat64
+
+// eventKind identifies which timer fires next in the event loop.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evService
+	evIdle
+)
+
+// nextEvent picks the earliest of the three pending timers, breaking ties in
+// the fixed order arrival, then service completion, then idle expiry (the
+// strict < keeps the earlier-ranked candidate at equal timestamps). The
+// order is part of the simulator's semantics — an arrival coinciding with a
+// BG service completion is counted as delayed — and is pinned by
+// TestEventTieBreakOrder.
+func nextEvent(arr, svc, idle float64) (float64, eventKind) {
+	next, kind := arr, evArrival
+	if svc < next {
+		next, kind = svc, evService
+	}
+	if idle < next {
+		next, kind = idle, evIdle
+	}
+	return next, kind
+}
+
+// runState is the flattened per-run state of the event loop. Everything the
+// hot path touches lives here as a plain field — no closures, no interface
+// values — so the compiler keeps the loop free of pointer chasing and the
+// steady state free of allocations.
+type runState struct {
+	// Random streams and samplers (rng is the event stream: service draws,
+	// BG spawn coin flips, idle waits).
+	rng        rng.Rand
+	sampler    *arrival.Sampler
+	svcSampler *arrival.Sampler // non-nil iff ServiceMAP is set
+	svcPH      *phtype.Compiled // non-nil iff Service is set
+	idlePH     *phtype.Compiled // non-nil iff IdleWait is set
+	svcScale   float64          // 1/ServiceRate (exponential service)
+	idleScale  float64          // 1/IdleRate (exponential or deterministic)
+	idleDet    bool
+	perPeriod  bool
+	bgProb     float64
+	bgBuffer   int
+
+	// Dynamic state.
+	now        float64
+	nextArr    float64
+	serviceEnd float64
+	idleExpiry float64
+	state      serverState
+	fgQueue    int // waiting FG jobs (excluding in service)
+	bgQueue    int // waiting BG jobs (excluding in service)
+	fgTimes    fifo
+
+	// Measurement window and accumulators.
+	measStart float64
+	measEnd   float64
+	fgArea    float64 // ∫ FG-in-system dt
+	bgArea    float64 // ∫ BG-in-system dt
+	utilFG    float64
+	utilBG    float64
+	idleW     float64
+	emptyT    float64
+	respSum   float64
+	p95, p99  p2Quantile
+	counters  Counters
+
+	// Batch-means attribution: a monotone cursor over batch segments.
+	batchLen float64
+	batchEnd float64 // end of the current batch (measEnd for the last)
+	bi       int     // current batch index
+	batchFG  []float64
+	batchBG  []float64
+}
+
+// setup initializes rs from a validated configuration. Stream-seed
+// consumption order (event RNG, arrival sampler, optional service MAP
+// sampler) is part of the reproducibility contract — see seed.go.
+func (rs *runState) setup(cfg Config) {
+	seeds := newSeedStream(cfg.Seed)
+	rs.rng = rng.New(seeds.next())
+	rs.sampler = arrival.NewSampler(cfg.Arrival, seeds.next())
+	if cfg.ServiceMAP != nil {
+		rs.svcSampler = arrival.NewSampler(cfg.ServiceMAP, seeds.next())
+	}
+	if cfg.Service != nil {
+		rs.svcPH = phtype.Compile(cfg.Service)
+	}
+	if cfg.IdleWait != nil {
+		rs.idlePH = phtype.Compile(cfg.IdleWait)
+	}
+	rs.svcScale = 1 / cfg.ServiceRate
+	rs.idleScale = 1 / cfg.IdleRate
+	rs.idleDet = cfg.IdleDist == IdleDeterministic
+	rs.perPeriod = cfg.IdlePolicy == core.IdleWaitPerPeriod
+	rs.bgProb = cfg.BGProb
+	rs.bgBuffer = cfg.BGBuffer
+
+	rs.state = stateIdle
+	rs.nextArr = rs.sampler.Next()
+	rs.serviceEnd = inf
+	rs.idleExpiry = inf
+	rs.fgTimes.init(fifoInitialCap)
+
+	rs.measStart = cfg.WarmupTime
+	rs.measEnd = cfg.WarmupTime + cfg.MeasureTime
+	rs.p95.initP2(0.95)
+	rs.p99.initP2(0.99)
+
+	rs.batchLen = cfg.MeasureTime / float64(cfg.Batches)
+	rs.batchFG = make([]float64, cfg.Batches)
+	rs.batchBG = make([]float64, cfg.Batches)
+	rs.bi = 0
+	rs.batchEnd = rs.batchBound(0)
+}
+
+// batchBound returns the end time of batch bi, with the last batch absorbing
+// float round-off by ending exactly at measEnd.
+func (rs *runState) batchBound(bi int) float64 {
+	if bi >= len(rs.batchFG)-1 {
+		return rs.measEnd
+	}
+	return rs.measStart + float64(bi+1)*rs.batchLen
+}
+
+func (rs *runState) drawService() float64 {
+	switch {
+	case rs.svcSampler != nil:
+		// The MAP phase persists across calls: correlated services, frozen
+		// while the server idles.
+		return rs.svcSampler.Next()
+	case rs.svcPH != nil:
+		return rs.svcPH.Sample(&rs.rng)
+	default:
+		return rs.rng.ExpFloat64() * rs.svcScale
+	}
+}
+
+func (rs *runState) idleWait() float64 {
+	switch {
+	case rs.idlePH != nil:
+		return rs.idlePH.Sample(&rs.rng)
+	case rs.idleDet:
+		return rs.idleScale
+	default:
+		return rs.rng.ExpFloat64() * rs.idleScale
+	}
+}
+
+// accumulate integrates the current state over (now, next) clipped to the
+// measurement window, spreading queue-length area over batches. Clipping is
+// branch-based (no math.Min/Max calls) and the common case — an interval
+// fully inside the current batch — costs one comparison beyond the area
+// updates.
+func (rs *runState) accumulate(next float64) {
+	lo, hi := rs.now, next
+	if lo < rs.measStart {
+		lo = rs.measStart
+	}
+	if hi > rs.measEnd {
+		hi = rs.measEnd
+	}
+	if hi <= lo {
+		return
+	}
+	span := hi - lo
+	nf, nb := float64(rs.fgQueue), float64(rs.bgQueue)
+	switch rs.state {
+	case stateServingFG:
+		nf++
+		rs.utilFG += span
+	case stateServingBG:
+		nb++
+		rs.utilBG += span
+	case stateIdleWait:
+		rs.idleW += span
+	default:
+		rs.emptyT += span
+	}
+	rs.fgArea += nf * span
+	rs.bgArea += nb * span
+	// Batch attribution: the cursor only moves forward because simulated
+	// time is monotone, so each call either lands in the current batch
+	// (fast path) or walks the cursor across whole batch segments.
+	for hi > rs.batchEnd {
+		seg := rs.batchEnd - lo
+		rs.batchFG[rs.bi] += nf * seg
+		rs.batchBG[rs.bi] += nb * seg
+		lo = rs.batchEnd
+		rs.bi++
+		rs.batchEnd = rs.batchBound(rs.bi)
+	}
+	rs.batchFG[rs.bi] += nf * (hi - lo)
+	rs.batchBG[rs.bi] += nb * (hi - lo)
+}
+
+func (rs *runState) startFG() {
+	rs.fgQueue--
+	rs.state = stateServingFG
+	rs.serviceEnd = rs.now + rs.drawService()
+	rs.idleExpiry = inf
+}
+
+func (rs *runState) startBG() {
+	rs.bgQueue--
+	rs.state = stateServingBG
+	rs.serviceEnd = rs.now + rs.drawService()
+	rs.idleExpiry = inf
+}
+
+func (rs *runState) armIdleOrRest() {
+	rs.serviceEnd = inf
+	if rs.bgQueue > 0 {
+		rs.state = stateIdleWait
+		rs.idleExpiry = rs.now + rs.idleWait()
+	} else {
+		rs.state = stateIdle
+		rs.idleExpiry = inf
+	}
+}
 
 // Run simulates the system and returns measured metrics.
 //
@@ -208,241 +443,110 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 	// (see seed.go): replication studies map replication r to Seed + r, and
 	// the avalanche mixer guarantees the event/arrival/service streams of
 	// all replications stay pairwise distinct.
-	seeds := newSeedStream(cfg.Seed)
-	var (
-		rng     = rand.New(rand.NewSource(seeds.next()))
-		sampler = arrival.NewSampler(cfg.Arrival, seeds.next())
-
-		now        float64
-		state      = stateIdle
-		fgQueue    int // waiting FG jobs (excluding in service)
-		bgQueue    int // waiting BG jobs (excluding in service)
-		nextArr    = sampler.Next()
-		serviceEnd = inf
-		idleExpiry = inf
-
-		measStart = cfg.WarmupTime
-		measEnd   = cfg.WarmupTime + cfg.MeasureTime
-
-		res     Result
-		fgArea  float64 // ∫ FG-in-system dt
-		bgArea  float64 // ∫ BG-in-system dt
-		utilFG  float64
-		utilBG  float64
-		idleW   float64
-		emptyT  float64
-		respSum float64
-		fgTimes []float64 // FIFO arrival stamps of FG in system
-
-		batchLen = cfg.MeasureTime / float64(cfg.Batches)
-		batchFG  = make([]float64, cfg.Batches)
-		batchBG  = make([]float64, cfg.Batches)
-	)
-
-	expo := func(rate float64) float64 {
-		return -math.Log(1-rng.Float64()) / rate
-	}
-	var svcSampler *arrival.Sampler
-	if cfg.ServiceMAP != nil {
-		svcSampler = arrival.NewSampler(cfg.ServiceMAP, seeds.next())
-	}
-	drawService := func() float64 {
-		switch {
-		case svcSampler != nil:
-			// The MAP phase persists across calls: correlated services,
-			// frozen while the server idles.
-			return svcSampler.Next()
-		case cfg.Service != nil:
-			return phtype.SampleOnce(cfg.Service, rng)
-		default:
-			return expo(cfg.ServiceRate)
-		}
-	}
-	idleWait := func() float64 {
-		switch {
-		case cfg.IdleWait != nil:
-			return phtype.SampleOnce(cfg.IdleWait, rng)
-		case cfg.IdleDist == IdleDeterministic:
-			return 1 / cfg.IdleRate
-		default:
-			return expo(cfg.IdleRate)
-		}
-	}
-	fgCount := func() int {
-		n := fgQueue
-		if state == stateServingFG {
-			n++
-		}
-		return n
-	}
-	bgCount := func() int {
-		n := bgQueue
-		if state == stateServingBG {
-			n++
-		}
-		return n
-	}
-	// accumulate integrates state over (now, now+dt) clipped to the
-	// measurement window, spreading queue-length area over batches.
-	accumulate := func(dt float64) {
-		lo := math.Max(now, measStart)
-		hi := math.Min(now+dt, measEnd)
-		if hi <= lo {
-			return
-		}
-		span := hi - lo
-		nf, nb := float64(fgCount()), float64(bgCount())
-		fgArea += nf * span
-		bgArea += nb * span
-		switch state {
-		case stateServingFG:
-			utilFG += span
-		case stateServingBG:
-			utilBG += span
-		case stateIdleWait:
-			idleW += span
-		case stateIdle:
-			emptyT += span
-		}
-		// Batch attribution (split across batch boundaries). Iterate batch
-		// indices rather than advancing a float time cursor: a cursor that
-		// lands exactly on a batch edge would produce zero-length segments
-		// and never progress.
-		biLo := int((lo - measStart) / batchLen)
-		if biLo < 0 {
-			biLo = 0
-		}
-		if biLo >= cfg.Batches {
-			biLo = cfg.Batches - 1
-		}
-		for bi := biLo; bi < cfg.Batches; bi++ {
-			bStart := measStart + float64(bi)*batchLen
-			if bStart >= hi {
-				break
-			}
-			segLo := math.Max(lo, bStart)
-			segHi := math.Min(hi, bStart+batchLen)
-			if bi == cfg.Batches-1 {
-				segHi = hi // absorb float round-off at the window end
-			}
-			if seg := segHi - segLo; seg > 0 {
-				batchFG[bi] += nf * seg
-				batchBG[bi] += nb * seg
-			}
-		}
-	}
-	inWindow := func() bool { return now >= measStart && now < measEnd }
-
-	startFG := func() {
-		fgQueue--
-		state = stateServingFG
-		serviceEnd = now + drawService()
-		idleExpiry = inf
-	}
-	startBG := func() {
-		bgQueue--
-		state = stateServingBG
-		serviceEnd = now + drawService()
-		idleExpiry = inf
-	}
-	armIdleOrRest := func() {
-		serviceEnd = inf
-		if bgQueue > 0 {
-			state = stateIdleWait
-			idleExpiry = now + idleWait()
-		} else {
-			state = stateIdle
-			idleExpiry = inf
-		}
-	}
+	var rs runState
+	rs.setup(cfg)
 
 	var events int64
-	for now < measEnd {
+	for rs.now < rs.measEnd {
 		if events++; ctx != nil && events&4095 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: canceled at t=%g: %w", now, err)
+				return nil, fmt.Errorf("sim: canceled at t=%g: %w", rs.now, err)
 			}
 		}
-		next := math.Min(nextArr, math.Min(serviceEnd, idleExpiry))
-		accumulate(next - now)
-		now = next
-		switch {
-		case now == nextArr:
+		next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry)
+		rs.accumulate(next)
+		rs.now = next
+		in := next >= rs.measStart && next < rs.measEnd
+		if in {
+			rs.counters.Events++
+		}
+		switch kind {
+		case evArrival:
 			// Foreground arrival.
-			if inWindow() {
-				res.Counters.ArrivalsFG++
-				if state == stateServingBG {
-					res.Counters.DelayedFG++
+			if in {
+				rs.counters.ArrivalsFG++
+				if rs.state == stateServingBG {
+					rs.counters.DelayedFG++
 				}
 			}
-			fgQueue++
-			fgTimes = append(fgTimes, now)
-			if state == stateIdle || state == stateIdleWait {
-				startFG()
+			rs.fgQueue++
+			rs.fgTimes.push(next)
+			if rs.state == stateIdle || rs.state == stateIdleWait {
+				rs.startFG()
 			}
-			nextArr = now + sampler.Next()
+			rs.nextArr = next + rs.sampler.Next()
 
-		case now == serviceEnd:
-			switch state {
+		case evService:
+			switch rs.state {
 			case stateServingFG:
-				if inWindow() {
-					res.Counters.CompletedFG++
-					respSum += now - fgTimes[0]
-				}
-				fgTimes = fgTimes[1:]
-				if rng.Float64() < cfg.BGProb {
-					if inWindow() {
-						res.Counters.GeneratedBG++
+				t0 := rs.fgTimes.pop()
+				if in {
+					rs.counters.CompletedFG++
+					resp := next - t0
+					rs.respSum += resp
+					// The P² markers see every p2Stride-th completion:
+					// systematic decimation of a stationary stream leaves
+					// quantile estimates unbiased but caps the estimators'
+					// share of the event budget.
+					if rs.counters.CompletedFG&(p2Stride-1) == 1 {
+						rs.p95.add(resp)
+						rs.p99.add(resp)
 					}
-					if bgQueue < cfg.BGBuffer {
-						bgQueue++
-						if inWindow() {
-							res.Counters.AdmittedBG++
+				}
+				if rs.rng.Float64() < rs.bgProb {
+					if in {
+						rs.counters.GeneratedBG++
+					}
+					if rs.bgQueue < rs.bgBuffer {
+						rs.bgQueue++
+						if in {
+							rs.counters.AdmittedBG++
 						}
-					} else if inWindow() {
-						res.Counters.DroppedBG++
+					} else if in {
+						rs.counters.DroppedBG++
 					}
 				}
-				if fgQueue > 0 {
-					startFG()
+				if rs.fgQueue > 0 {
+					rs.startFG()
 				} else {
-					armIdleOrRest()
+					rs.armIdleOrRest()
 				}
 			case stateServingBG:
-				if inWindow() {
-					res.Counters.CompletedBG++
+				if in {
+					rs.counters.CompletedBG++
 				}
-				if fgQueue > 0 {
-					startFG()
-				} else if bgQueue > 0 && cfg.IdlePolicy == core.IdleWaitPerPeriod {
-					startBG()
+				if rs.fgQueue > 0 {
+					rs.startFG()
+				} else if rs.bgQueue > 0 && rs.perPeriod {
+					rs.startBG()
 				} else {
-					armIdleOrRest()
+					rs.armIdleOrRest()
 				}
 			default:
-				return nil, fmt.Errorf("sim: service completion in state %d", state)
+				return nil, fmt.Errorf("sim: service completion in state %d", rs.state)
 			}
 
 		default: // idle-wait expiry
-			if state != stateIdleWait || bgQueue == 0 {
-				return nil, fmt.Errorf("sim: idle expiry in state %d with %d BG", state, bgQueue)
+			if rs.state != stateIdleWait || rs.bgQueue == 0 {
+				return nil, fmt.Errorf("sim: idle expiry in state %d with %d BG", rs.state, rs.bgQueue)
 			}
-			if inWindow() {
-				res.Counters.IdleExpirations++
+			if in {
+				rs.counters.IdleExpirations++
 			}
-			startBG()
+			rs.startBG()
 		}
 	}
 
+	res := &Result{Counters: rs.counters}
 	t := cfg.MeasureTime
 	res.SimTime = t
 	m := &res.Metrics
-	m.QLenFG = fgArea / t
-	m.QLenBG = bgArea / t
-	m.UtilFG = utilFG / t
-	m.UtilBG = utilBG / t
-	m.ProbIdleWait = idleW / t
-	m.ProbEmpty = emptyT / t
+	m.QLenFG = rs.fgArea / t
+	m.QLenBG = rs.bgArea / t
+	m.UtilFG = rs.utilFG / t
+	m.UtilBG = rs.utilBG / t
+	m.ProbIdleWait = rs.idleW / t
+	m.ProbEmpty = rs.emptyT / t
 	m.ThroughputFG = float64(res.Counters.CompletedFG) / t
 	m.ThroughputBG = float64(res.Counters.CompletedBG) / t
 	m.GenRateBG = float64(res.Counters.GeneratedBG) / t
@@ -456,15 +560,17 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 		m.WaitPFG = float64(res.Counters.DelayedFG) / float64(res.Counters.ArrivalsFG)
 	}
 	if res.Counters.CompletedFG > 0 {
-		m.RespTimeFG = respSum / float64(res.Counters.CompletedFG)
+		m.RespTimeFG = rs.respSum / float64(res.Counters.CompletedFG)
+		res.RespTimeFGP95 = rs.p95.Value()
+		res.RespTimeFGP99 = rs.p99.Value()
 	}
 	if res.Counters.AdmittedBG > 0 {
 		// Little's law over the BG population: mean sojourn of admitted jobs.
-		m.RespTimeBG = bgArea / float64(res.Counters.AdmittedBG)
+		m.RespTimeBG = rs.bgArea / float64(res.Counters.AdmittedBG)
 	}
 
-	res.QLenFGHalf = batchHalfWidth(batchFG, batchLen)
-	res.QLenBGHalf = batchHalfWidth(batchBG, batchLen)
+	res.QLenFGHalf = batchHalfWidth(rs.batchFG, rs.batchLen)
+	res.QLenBGHalf = batchHalfWidth(rs.batchBG, rs.batchLen)
 	if o != nil {
 		c := res.Counters
 		o.SimRun(obs.SimCounters{
@@ -472,9 +578,10 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 			DelayedFG: c.DelayedFG, GeneratedBG: c.GeneratedBG,
 			AdmittedBG: c.AdmittedBG, DroppedBG: c.DroppedBG,
 			CompletedBG: c.CompletedBG, IdleExpirations: c.IdleExpirations,
+			Events: c.Events,
 		})
 	}
-	return &res, nil
+	return res, nil
 }
 
 // batchHalfWidth returns the ~95% half-width of the batch-means estimator

@@ -1,0 +1,169 @@
+package sim
+
+import "sort"
+
+// Streaming estimators for per-run and across-replication statistics.
+//
+// The simulator used to keep every foreground response time (implicitly, via
+// the batch sums) and RunReplications used to retain every per-replication
+// Result to compute Student-t intervals at the end. Both are O(n) memory in
+// quantities that PR 7 pushes into the millions. The two estimators here are
+// O(1): Welford's online moment recurrence (Welford, Technometrics 1962) for
+// means and variances, and the P² algorithm (Jain & Chlamtac, CACM 1985) for
+// quantiles, which tracks five markers that approximate the p/2, p and
+// (1+p)/2 quantiles and repositions them with a piecewise-parabolic
+// interpolation after every observation.
+
+// p2Stride is the decimation factor of the response-time percentile
+// estimators: the P² markers are fed every p2Stride-th in-window foreground
+// completion. Systematic sampling of a stationary stream keeps the quantile
+// estimates unbiased (every p2Stride-th response time has the same marginal
+// law as the full stream) while bounding the estimators' cost to a fixed
+// fraction of the event loop; any realistic measurement window still feeds
+// them thousands of samples. Must be a power of two.
+const p2Stride = 4
+
+// welford accumulates count, mean, and centered second moment online. The
+// zero value is an empty accumulator.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// add folds one observation into the accumulator.
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Mean returns the running mean (0 with no observations).
+func (w *welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 observations).
+func (w *welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// p2Quantile estimates a single quantile online with the P² algorithm:
+// five markers whose heights bracket the target quantile and whose positions
+// are nudged toward ideal (quantile-proportional) positions after every
+// observation, interpolating heights with the piecewise-parabolic (P²)
+// formula, or linearly when the parabola would leave the bracket. Storage is
+// constant regardless of observation count.
+type p2Quantile struct {
+	p     float64
+	n     int64
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based observation counts)
+	want  [5]float64 // desired marker positions
+	dwant [5]float64 // desired-position increments per observation
+}
+
+// initP2 prepares the estimator for quantile p in (0, 1).
+func (e *p2Quantile) initP2(p float64) {
+	e.p = p
+	e.n = 0
+	e.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// add folds one observation into the estimator.
+//
+// The bookkeeping exploits two P² invariants to stay off the original
+// paper's index loops: marker 0 never moves (pos[0] ≡ 1, and its desired
+// increment is 0), and marker 4 tracks the observation count exactly
+// (pos[4] ≡ n ≡ want[4], so it can never need adjustment). Only markers
+// 1..3 carry live positions, desired positions, and adjustment checks.
+func (e *p2Quantile) add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := 0; i < 5; i++ {
+				e.pos[i] = float64(i + 1)
+				e.want[i] = 1 + 4*e.dwant[i]
+			}
+		}
+		return
+	}
+	e.n++
+	// Locate the cell containing x (clamping the extremes) and bump the
+	// positions of the markers above it. For the high quantiles the
+	// simulator tracks, the first comparison is strongly predictable.
+	if x < e.q[2] {
+		if x < e.q[1] {
+			if x < e.q[0] {
+				e.q[0] = x
+			}
+			e.pos[1]++
+		}
+		e.pos[2]++
+		e.pos[3]++
+	} else if x < e.q[3] {
+		e.pos[3]++
+	} else if x > e.q[4] {
+		e.q[4] = x
+	}
+	e.pos[4] = float64(e.n)
+	e.want[1] += e.dwant[1]
+	e.want[2] += e.dwant[2]
+	e.want[3] += e.dwant[3]
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			qp := e.parabolic(i, s)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic height update for marker i moved by
+// d ∈ {−1, +1}.
+func (e *p2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height update when the parabola overshoots a
+// neighboring marker.
+func (e *p2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact quantile of the sorted sample
+// (0 with none).
+func (e *p2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := make([]float64, e.n)
+		copy(s, e.q[:e.n])
+		sort.Float64s(s)
+		idx := int(e.p * float64(e.n))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}

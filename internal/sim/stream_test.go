@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"bgperf/internal/arrival"
+	"bgperf/internal/rng"
+)
+
+// TestWelfordMatchesTwoPass checks the online moments against a naive
+// two-pass computation on the same data.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	r := rng.New(17)
+	const n = 50000
+	xs := make([]float64, n)
+	var w welford
+	for i := range xs {
+		// Heavy-ish tail to stress cancellation: sum of two exponentials
+		// squared.
+		x := r.ExpFloat64() + r.ExpFloat64()*r.ExpFloat64()
+		xs[i] = x
+		w.add(x)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	variance := ss / (n - 1)
+	if d := math.Abs(w.Mean() - mean); d > 1e-12*math.Abs(mean) {
+		t.Errorf("Welford mean %v, two-pass %v", w.Mean(), mean)
+	}
+	if d := math.Abs(w.Var() - variance); d > 1e-9*variance {
+		t.Errorf("Welford variance %v, two-pass %v", w.Var(), variance)
+	}
+}
+
+// exactQuantile returns the empirical p-quantile of xs (sorted copy).
+func exactQuantile(xs []float64, p float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// TestP2MatchesExactQuantiles feeds the P² estimator the full stream and
+// compares against the exact sorted-sample quantile for several
+// distribution shapes and quantiles. P² is an approximation; the agreement
+// bound (1.5% of the exact value, or absolute 0.02 near zero) is far tighter
+// than any use the simulator puts the estimate to.
+func TestP2MatchesExactQuantiles(t *testing.T) {
+	const n = 200000
+	gens := []struct {
+		name string
+		gen  func(r *rng.Rand) float64
+	}{
+		{"exponential", func(r *rng.Rand) float64 { return r.ExpFloat64() }},
+		{"uniform", func(r *rng.Rand) float64 { return r.Float64() }},
+		{"heavy-tail", func(r *rng.Rand) float64 { x := r.ExpFloat64(); return x * x }},
+		{"shifted-bimodal", func(r *rng.Rand) float64 {
+			if r.Float64() < 0.3 {
+				return 10 + r.ExpFloat64()
+			}
+			return r.ExpFloat64()
+		}},
+	}
+	for _, g := range gens {
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			r := rng.New(1234)
+			var est p2Quantile
+			est.initP2(p)
+			xs := make([]float64, n)
+			for i := range xs {
+				x := g.gen(&r)
+				xs[i] = x
+				est.add(x)
+			}
+			want := exactQuantile(xs, p)
+			got := est.Value()
+			if d := math.Abs(got - want); d > 0.015*math.Abs(want)+0.02 {
+				t.Errorf("%s p=%g: P² = %v, exact = %v (diff %v)", g.name, p, got, want, d)
+			}
+		}
+	}
+}
+
+// TestP2SmallSampleFallback checks the exact-sorted fallback below five
+// observations.
+func TestP2SmallSampleFallback(t *testing.T) {
+	var est p2Quantile
+	est.initP2(0.95)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimator Value = %v, want 0", est.Value())
+	}
+	for _, x := range []float64{3, 1, 2} {
+		est.add(x)
+	}
+	if got := est.Value(); got != 3 {
+		t.Fatalf("3-sample p95 = %v, want max 3", got)
+	}
+}
+
+// TestRunPercentilesAgainstMM1 is the end-to-end check of the surfaced
+// percentile metrics: with Poisson arrivals, exponential service, and no
+// background work the system is an M/M/1 queue, whose stationary response
+// time is exponential with rate µ−λ, so the p-quantile is −ln(1−p)/(µ−λ).
+// The estimates come from the decimated P² stream (see p2Stride), so the
+// tolerance is statistical, not exact.
+func TestRunPercentilesAgainstMM1(t *testing.T) {
+	m, err := arrival.Poisson(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Arrival: m, ServiceRate: 1, Seed: 9,
+		WarmupTime: 5000, MeasureTime: 400000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const diff = 0.5 // µ − λ
+	wantP95 := -math.Log(0.05) / diff
+	wantP99 := -math.Log(0.01) / diff
+	if d := math.Abs(res.RespTimeFGP95-wantP95) / wantP95; d > 0.05 {
+		t.Errorf("M/M/1 p95 response = %v, want %v (rel diff %v)", res.RespTimeFGP95, wantP95, d)
+	}
+	if d := math.Abs(res.RespTimeFGP99-wantP99) / wantP99; d > 0.08 {
+		t.Errorf("M/M/1 p99 response = %v, want %v (rel diff %v)", res.RespTimeFGP99, wantP99, d)
+	}
+	if res.RespTimeFGP95 <= res.Metrics.RespTimeFG || res.RespTimeFGP99 <= res.RespTimeFGP95 {
+		t.Errorf("percentile ordering violated: mean %v, p95 %v, p99 %v",
+			res.Metrics.RespTimeFG, res.RespTimeFGP95, res.RespTimeFGP99)
+	}
+}
+
+// TestReplicationPercentileAggregation checks RunReplications surfaces the
+// across-replication mean of the per-replication percentile estimates and
+// populates the compact RepMetrics rows at any replication count.
+func TestReplicationPercentileAggregation(t *testing.T) {
+	m, err := arrival.Poisson(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Arrival: m, ServiceRate: 1, Seed: 4, WarmupTime: 100, MeasureTime: 20000}
+	agg, err := RunReplications(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantP95, wantP99 float64
+	for r := 0; r < 3; r++ {
+		repCfg := cfg
+		repCfg.Seed = cfg.Seed + int64(r)
+		res, err := Run(repCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP95 += res.RespTimeFGP95 / 3
+		wantP99 += res.RespTimeFGP99 / 3
+		if agg.RepMetrics[r] != res.Metrics {
+			t.Errorf("RepMetrics[%d] does not match Run at seed %d", r, repCfg.Seed)
+		}
+	}
+	if agg.RespTimeFGP95 != wantP95 || agg.RespTimeFGP99 != wantP99 {
+		t.Errorf("aggregated percentiles (%v, %v), want (%v, %v)",
+			agg.RespTimeFGP95, agg.RespTimeFGP99, wantP95, wantP99)
+	}
+}

@@ -35,6 +35,7 @@ func addCounters(a, b Counters) Counters {
 	a.DroppedBG += b.DroppedBG
 	a.CompletedBG += b.CompletedBG
 	a.IdleExpirations += b.IdleExpirations
+	a.Events += b.Events
 	return a
 }
 
@@ -153,6 +154,7 @@ func TestWarmupWindowAdditivityMulti(t *testing.T) {
 		sum.DroppedBG2 += rMid.Counters.DroppedBG2
 		sum.CompletedBG1 += rMid.Counters.CompletedBG1
 		sum.CompletedBG2 += rMid.Counters.CompletedBG2
+		sum.Events += rMid.Counters.Events
 		if sum != rFull.Counters {
 			t.Errorf("seed %d: multiclass counters do not partition at the warm-up boundary:\n  sum  %+v\n  full %+v",
 				seed, sum, rFull.Counters)

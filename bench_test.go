@@ -84,6 +84,39 @@ func BenchmarkSimEvents(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkPlan measures one full inverse solve: each iteration bisects the
+// maximum sustainable BG probability under a foreground queue-length SLO on
+// the software-development workload at utilization 0.3 (the ExamplePlan
+// configuration), including the sensitivity-neighborhood fan-out — about
+// twenty forward QBD solves per iteration.
+func BenchmarkPlan(b *testing.B) {
+	sd, err := bgperf.SoftwareDevelopmentWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := bgperf.AtUtilization(sd, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bgperf.Config{
+		Arrival:     arr,
+		ServiceRate: bgperf.ServiceRatePerMs,
+		BGBuffer:    5,
+		IdleRate:    bgperf.ServiceRatePerMs,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bgperf.Plan(cfg, bgperf.SLO{QLenFG: 4.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Value <= 0 || res.AtCap {
+			b.Fatalf("degenerate plan: %+v", res)
+		}
+	}
+}
+
 // BenchmarkAblation exercises the idle-policy and buffer ablations (A-1).
 func BenchmarkAblation(b *testing.B) { benchFigure(b, "ablation") }
 

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	bgperf solve -workload email -util 0.3 -p 0.3            # analytic metrics
+//	bgperf plan  -workload email -util 0.3 -slo-qlen 5       # max sustainable p under an SLO
+//	bgperf plan  -trace io.ndjson -slo-resp 50 -var alpha    # ingest → fit → project
 //	bgperf sim   -workload softdev -util 0.5 -p 0.6 -time 2e8
 //	bgperf sim   -workload email -util 0.2 -p 0.9 -reps 8 -workers 0  # parallel replications
 //	bgperf trace -workload email -n 100000 -out trace.csv    # synthetic trace
@@ -15,6 +17,12 @@
 //
 // Workloads: email, softdev, useraccounts (the paper's trace MMPPs), plus
 // email-lowacf, email-ipp, poisson.
+//
+// Model parameters resolve through the same request struct the bgperfd
+// daemon uses (internal/serve.SolveRequest), so a CLI invocation and the
+// equivalent HTTP request always describe — and cache-key to — the same
+// model, and `bgperf plan -json` is byte-identical to the daemon's
+// /v1/optimize "plan" object.
 package main
 
 import (
@@ -26,14 +34,12 @@ import (
 	"os"
 	"strings"
 
+	"bgperf"
 	"bgperf/internal/arrival"
 	"bgperf/internal/check"
 	"bgperf/internal/core"
-	"bgperf/internal/multiclass"
 	"bgperf/internal/obs"
-	"bgperf/internal/phtype"
-	"bgperf/internal/qbd"
-	"bgperf/internal/sim"
+	"bgperf/internal/serve"
 	"bgperf/internal/trace"
 	"bgperf/internal/workload"
 )
@@ -47,11 +53,13 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (solve | sim | trace | fit | acf | multi | transient | check)")
+		return fmt.Errorf("missing subcommand (solve | plan | sim | trace | fit | acf | multi | transient | check)")
 	}
 	switch args[0] {
 	case "solve":
 		return cmdSolve(args[1:], out)
+	case "plan":
+		return cmdPlan(args[1:], out)
 	case "sim":
 		return cmdSim(args[1:], out)
 	case "trace":
@@ -67,7 +75,7 @@ func run(args []string, out io.Writer) error {
 	case "check":
 		return cmdCheck(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want solve | sim | trace | fit | acf | multi | transient | check)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want solve | plan | sim | trace | fit | acf | multi | transient | check)", args[0])
 	}
 }
 
@@ -116,49 +124,35 @@ func addModelFlags(fs *flag.FlagSet) modelFlags {
 	}
 }
 
-func (f modelFlags) build() (core.Config, error) {
-	m, err := workloadByName(*f.workload)
-	if err != nil {
-		return core.Config{}, err
-	}
-	if *f.util > 0 {
-		if m, err = workload.AtUtilization(m, *f.util); err != nil {
-			return core.Config{}, err
-		}
-	}
-	policy, err := core.ParseIdleWaitPolicy(*f.policy)
-	if err != nil {
-		return core.Config{}, err
-	}
+// request lifts the flag values into the daemon's request vocabulary. The
+// CLI guards -idlemult itself because its flag defaults to 1: an explicit 0
+// is a user error here, whereas the zero value in a JSON body means "use
+// the default".
+func (f modelFlags) request() (serve.SolveRequest, error) {
 	if *f.idleMult <= 0 {
-		return core.Config{}, fmt.Errorf("idlemult must be positive")
+		return serve.SolveRequest{}, fmt.Errorf("idlemult must be positive")
 	}
-	cfg := core.Config{
-		Arrival:    m,
-		BGProb:     *f.p,
-		BGBuffer:   *f.buffer,
-		IdlePolicy: policy,
+	return serve.SolveRequest{
+		Workload:    *f.workload,
+		Utilization: *f.util,
+		BGProb:      *f.p,
+		BGBuffer:    f.buffer,
+		IdleMult:    *f.idleMult,
+		Policy:      *f.policy,
+		ServiceSCV:  *f.serviceSCV,
+		IdleSCV:     *f.idleSCV,
+	}, nil
+}
+
+// build resolves the flags into a validated model configuration through the
+// same serve.SolveRequest defaulting the bgperfd daemon applies, so a CLI
+// invocation and the equivalent HTTP request describe the same model.
+func (f modelFlags) build() (core.Config, error) {
+	req, err := f.request()
+	if err != nil {
+		return core.Config{}, err
 	}
-	idleMean := *f.idleMult * workload.MeanServiceTimeMs
-	if *f.idleSCV == 1 {
-		cfg.IdleRate = 1 / idleMean
-	} else {
-		idle, err := phtype.FitTwoMoment(idleMean, *f.idleSCV)
-		if err != nil {
-			return core.Config{}, err
-		}
-		cfg.IdleWait = idle
-	}
-	if *f.serviceSCV == 1 {
-		cfg.ServiceRate = workload.ServiceRatePerMs
-	} else {
-		svc, err := phtype.FitTwoMoment(workload.MeanServiceTimeMs, *f.serviceSCV)
-		if err != nil {
-			return core.Config{}, err
-		}
-		cfg.Service = svc
-	}
-	return cfg, nil
+	return req.Config()
 }
 
 // writeDiag writes the machine-readable diagnostics report to path and the
@@ -216,7 +210,7 @@ func cmdSolve(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scheme, err := qbd.ParseRScheme(*schemeName)
+	scheme, err := bgperf.ParseRScheme(*schemeName)
 	if err != nil {
 		return err
 	}
@@ -224,11 +218,10 @@ func cmdSolve(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	model, err := core.NewModel(cfg)
+	model, err := bgperf.NewModel(cfg, bgperf.WithRScheme(scheme))
 	if err != nil {
 		return err
 	}
-	model.Tune(qbd.Tuning{Scheme: scheme})
 	var diag *obs.Diagnostics
 	if *diagPath != "" {
 		diag = obs.NewDiagnostics()
@@ -264,6 +257,131 @@ func cmdSolve(args []string, out io.Writer) error {
 	return nil
 }
 
+// cmdPlan runs the inverse solver: given a foreground SLO, it searches the
+// largest sustainable value of one background knob (p, X, or α). With
+// -trace it first fits an MMPP(2) to an uploaded NDJSON trace, mirroring
+// the daemon's /v1/plan-from-trace; the -json report is byte-identical to
+// the daemon's /v1/optimize "plan" object for the same parameters.
+func cmdPlan(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	mf := addModelFlags(fs)
+	var (
+		sloQLen    = fs.Float64("slo-qlen", 0, "SLO: mean foreground queue length bound (0 = unset)")
+		sloWaitP   = fs.Float64("slo-waitp", 0, "SLO: bound on the fraction of foreground arrivals delayed by background work (0 = unset)")
+		sloResp    = fs.Float64("slo-resp", 0, "SLO: mean foreground response time bound in ms (0 = unset)")
+		varName    = fs.String("var", "p", "decision variable: p (BG spawn probability), x (BG buffer), or alpha (idle rate)")
+		tol        = fs.Float64("tol", 0, "convergence tolerance of the continuous searches (0 = planner default)")
+		maxIter    = fs.Int("maxiter", 0, "bisection iteration bound (0 = planner default)")
+		tracePath  = fs.String("trace", "", "fit the arrival process from this NDJSON trace instead of -workload")
+		workers    = fs.Int("workers", 0, "max goroutines for the sensitivity neighborhood (0 = all cores)")
+		asJSON     = fs.Bool("json", false, "emit the plan report as JSON (byte-identical to the daemon's /v1/optimize plan object)")
+		diagPath   = fs.String("diag", "", "write a JSON diagnostics report (stage timings across every search solve) to this file")
+		schemeName = fs.String("scheme", "cyclic", "R iteration scheme: cyclic (default) or logarithmic")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := bgperf.ParseRScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	pv, err := bgperf.ParsePlanVar(*varName)
+	if err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0")
+	}
+	req, err := mf.request()
+	if err != nil {
+		return err
+	}
+	var diag *obs.Diagnostics
+	opts := []bgperf.Option{
+		bgperf.WithPlanVar(pv),
+		bgperf.WithRScheme(scheme),
+		bgperf.WithWorkers(*workers),
+	}
+	if *tol != 0 {
+		opts = append(opts, bgperf.WithTolerance(*tol))
+	}
+	if *maxIter != 0 {
+		opts = append(opts, bgperf.WithMaxIter(*maxIter))
+	}
+	if *diagPath != "" {
+		diag = obs.NewDiagnostics()
+		opts = append(opts, bgperf.WithObserver(diag))
+	}
+	var cfg core.Config
+	var fitted *arrival.MAP
+	var fitSamples int
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err := bgperf.ReadTraceNDJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if fitted, err = bgperf.FitWorkloadFromTrace(tr); err != nil {
+			return err
+		}
+		fitSamples = len(tr.Interarrivals)
+		if cfg, err = req.ConfigWithArrival(fitted); err != nil {
+			return err
+		}
+	} else if cfg, err = req.Config(); err != nil {
+		return err
+	}
+	slo := bgperf.SLO{QLenFG: *sloQLen, WaitPFG: *sloWaitP, RespTimeFG: *sloResp}
+	res, err := bgperf.Plan(cfg, slo, opts...)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		if diag != nil {
+			return writeDiag(*diagPath, diag, out)
+		}
+		return nil
+	}
+	if fitted != nil {
+		fmt.Fprintf(out, "fitted MMPP2 from %d trace samples: rate=%.6g scv=%.6g acf1=%.6g\n",
+			fitSamples, fitted.Rate(), fitted.SCV(), fitted.ACF(1))
+	}
+	fmt.Fprintf(out, "max sustainable %s   %12.6g", res.Var, res.Value)
+	if res.AtCap {
+		fmt.Fprintf(out, " (at the search cap: the SLO holds everywhere searched)")
+	}
+	fmt.Fprintln(out)
+	if res.Bracket > 0 {
+		fmt.Fprintf(out, "first infeasible %s  %12.6g\n", res.Var, res.Bracket)
+	}
+	fmt.Fprintf(out, "search               %d iterations, %d solves\n", res.Iterations, res.Solves)
+	printMetrics(out, res.Metrics)
+	if len(res.Neighborhood) > 0 {
+		fmt.Fprintln(out, "sensitivity:")
+		for _, nb := range res.Neighborhood {
+			status := "holds"
+			if !nb.Holds {
+				status = "violates"
+			}
+			fmt.Fprintf(out, "  %s=%-10.6g %-8s qlen %.6g  delayed %.6g  resp %.6g ms\n",
+				res.Var, nb.Value, status, nb.Metrics.QLenFG, nb.Metrics.WaitPFG, nb.Metrics.RespTimeFG)
+		}
+	}
+	if diag != nil {
+		return writeDiag(*diagPath, diag, out)
+	}
+	return nil
+}
+
 func cmdSim(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	mf := addModelFlags(fs)
@@ -289,7 +407,7 @@ func cmdSim(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	simCfg := sim.Config{
+	simCfg := bgperf.SimConfig{
 		Arrival:     cfg.Arrival,
 		ServiceRate: cfg.ServiceRate,
 		Service:     cfg.Service,
@@ -303,14 +421,16 @@ func cmdSim(args []string, out io.Writer) error {
 		MeasureTime: *simTime,
 	}
 	if *detIdle {
-		simCfg.IdleDist = sim.IdleDeterministic
+		simCfg.IdleDist = bgperf.IdleDeterministic
 	}
 	var diag *obs.Diagnostics
+	simOpts := []bgperf.Option{bgperf.WithWorkers(*workers), bgperf.WithReplications(*reps)}
 	if *diagPath != "" {
 		diag = obs.NewDiagnostics()
+		simOpts = append(simOpts, bgperf.WithObserver(diag))
 	}
 	if *reps > 1 {
-		agg, err := sim.RunReplicationsOpts(nil, simCfg, *reps, *workers, diag)
+		agg, err := bgperf.SimulateReplications(simCfg, simOpts...)
 		if err != nil {
 			return err
 		}
@@ -334,7 +454,7 @@ func cmdSim(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	res, err := sim.RunOpts(nil, simCfg, diag)
+	res, err := bgperf.Simulate(simCfg, simOpts...)
 	if err != nil {
 		return err
 	}
@@ -451,15 +571,21 @@ func cmdACF(args []string, out io.Writer) error {
 func cmdMulti(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("multi", flag.ContinueOnError)
 	var (
-		name     = fs.String("workload", "softdev", "arrival workload")
-		util     = fs.Float64("util", 0, "foreground utilization to scale to (0 keeps the native trace load)")
-		p1       = fs.Float64("p1", 0.25, "spawn probability of class-1 (priority) background jobs")
-		p2       = fs.Float64("p2", 0.5, "spawn probability of class-2 background jobs")
-		buf1     = fs.Int("buffer1", 5, "class-1 buffer capacity")
-		buf2     = fs.Int("buffer2", 5, "class-2 buffer capacity")
-		idleMult = fs.Float64("idlemult", 1, "mean idle wait in multiples of the 6 ms service time")
+		name       = fs.String("workload", "softdev", "arrival workload")
+		util       = fs.Float64("util", 0, "foreground utilization to scale to (0 keeps the native trace load)")
+		p1         = fs.Float64("p1", 0.25, "spawn probability of class-1 (priority) background jobs")
+		p2         = fs.Float64("p2", 0.5, "spawn probability of class-2 background jobs")
+		buf1       = fs.Int("buffer1", 5, "class-1 buffer capacity")
+		buf2       = fs.Int("buffer2", 5, "class-2 buffer capacity")
+		idleMult   = fs.Float64("idlemult", 1, "mean idle wait in multiples of the 6 ms service time")
+		diagPath   = fs.String("diag", "", "write a JSON diagnostics report (stage timings, convergence trace) to this file")
+		schemeName = fs.String("scheme", "cyclic", "R iteration scheme: cyclic (default) or logarithmic")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := bgperf.ParseRScheme(*schemeName)
+	if err != nil {
 		return err
 	}
 	m, err := workloadByName(*name)
@@ -474,7 +600,13 @@ func cmdMulti(args []string, out io.Writer) error {
 	if *idleMult <= 0 {
 		return fmt.Errorf("idlemult must be positive")
 	}
-	model, err := multiclass.NewModel(multiclass.Config{
+	var diag *obs.Diagnostics
+	opts := []bgperf.Option{bgperf.WithRScheme(scheme)}
+	if *diagPath != "" {
+		diag = obs.NewDiagnostics()
+		opts = append(opts, bgperf.WithObserver(diag))
+	}
+	sol, err := bgperf.SolveMulti(bgperf.MultiConfig{
 		Arrival:     m,
 		ServiceRate: workload.ServiceRatePerMs,
 		BG1Prob:     *p1,
@@ -482,11 +614,7 @@ func cmdMulti(args []string, out io.Writer) error {
 		BG1Buffer:   *buf1,
 		BG2Buffer:   *buf2,
 		IdleRate:    workload.ServiceRatePerMs / *idleMult,
-	})
-	if err != nil {
-		return err
-	}
-	sol, err := model.Solve()
+	}, opts...)
 	if err != nil {
 		return err
 	}
@@ -498,6 +626,9 @@ func cmdMulti(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "class-2 completion     %12.6g\n", sol.CompBG2)
 	fmt.Fprintf(out, "class-1/2 queue length %12.6g %.6g\n", sol.QLenBG1, sol.QLenBG2)
 	fmt.Fprintf(out, "class-1/2 throughput   %12.6g %.6g\n", sol.ThroughputBG1, sol.ThroughputBG2)
+	if diag != nil {
+		return writeDiag(*diagPath, diag, out)
+	}
 	return nil
 }
 
@@ -519,7 +650,7 @@ func cmdTransient(args []string, out io.Writer) error {
 	if *horizon <= 0 || *points < 1 {
 		return fmt.Errorf("horizon and points must be positive")
 	}
-	model, err := core.NewModel(cfg)
+	model, err := bgperf.NewModel(cfg)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bgperf/internal/trace"
 )
 
 func runCmd(t *testing.T, args ...string) (string, error) {
@@ -67,6 +69,113 @@ func TestSolveErrors(t *testing.T) {
 		if _, err := runCmd(t, args...); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestPlanCommand(t *testing.T) {
+	out, err := runCmd(t, "plan", "-workload", "softdev", "-util", "0.3", "-slo-qlen", "4.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"max sustainable p", "first infeasible p", "sensitivity:", "fg queue length"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanJSON(t *testing.T) {
+	out, err := runCmd(t, "plan", "-workload", "softdev", "-util", "0.3", "-slo-qlen", "4.2", "-var", "x", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Var     string  `json:"var"`
+		Value   float64 `json:"value"`
+		AtCap   bool    `json:"atCap"`
+		Solves  int     `json:"solves"`
+		Metrics struct {
+			QLenFG float64 `json:"qlenFG"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid plan JSON: %v\n%s", err, out)
+	}
+	if rep.Var != "x" || rep.Solves == 0 || rep.Metrics.QLenFG > 4.2 {
+		t.Errorf("unexpected plan report: %+v", rep)
+	}
+}
+
+func TestPlanInfeasible(t *testing.T) {
+	_, err := runCmd(t, "plan", "-workload", "softdev", "-util", "0.3", "-slo-qlen", "0.001")
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Errorf("infeasible SLO not reported: %v", err)
+	}
+}
+
+func TestPlanTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.ndjson")
+	m, err := workloadByName("email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := trace.Generate(m, 2000, 1).WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "plan", "-trace", path, "-util", "0.3", "-slo-qlen", "1e9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fitted MMPP2 from 2000 trace samples", "at the search cap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan -trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.ndjson")
+	if err := os.WriteFile(short, []byte("{\"interarrival\": 50}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests := [][]string{
+		{"plan", "-workload", "softdev"},                              // no SLO set
+		{"plan", "-workload", "nope", "-slo-qlen", "5"},               // unknown workload
+		{"plan", "-slo-qlen", "5", "-var", "q"},                       // unknown variable
+		{"plan", "-slo-qlen", "5", "-var", "alpha", "-idlescv", "4"},  // α-search needs exponential idle
+		{"plan", "-slo-qlen", "5", "-tol", "-1"},                      // bad tolerance
+		{"plan", "-slo-qlen", "5", "-maxiter", "-3"},                  // bad iteration bound
+		{"plan", "-slo-qlen", "5", "-trace", filepath.Join(dir, "x")}, // missing trace file
+		{"plan", "-slo-qlen", "5", "-trace", short},                   // too few samples to fit
+		{"plan", "-slo-qlen", "5", "-idlemult", "0"},                  // explicit zero idle mult
+	}
+	for _, args := range tests {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestMultiDiagAndScheme(t *testing.T) {
+	diagPath := filepath.Join(t.TempDir(), "multi-diag.json")
+	out, err := runCmd(t, "multi", "-workload", "softdev", "-util", "0.2", "-scheme", "logarithmic", "-diag", diagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "diagnostics") {
+		t.Errorf("multi -diag output missing summary:\n%s", out)
+	}
+	if _, err := os.Stat(diagPath); err != nil {
+		t.Errorf("diagnostics file not written: %v", err)
+	}
+	if _, err := runCmd(t, "multi", "-scheme", "bogus"); err == nil {
+		t.Error("unknown scheme accepted")
 	}
 }
 

@@ -11,15 +11,18 @@
 //
 // Endpoints (see docs/API.md for schemas and examples):
 //
-//	POST /v1/solve    one parameter point → steady-state metrics
-//	POST /v1/sweep    a batch of points, fanned out over the worker pool
-//	GET  /healthz     200 while serving, 503 once draining
-//	GET  /metrics     JSON snapshot: serve counters + solver diagnostics
-//	GET  /debug/vars  process-wide expvar counters
+//	POST /v1/solve            one parameter point → steady-state metrics
+//	POST /v1/sweep            a batch of points, fanned out over the worker pool
+//	POST /v1/optimize         capacity plan: max p / X / α under a foreground SLO
+//	POST /v1/plan-from-trace  NDJSON trace upload → MMPP(2) fit → capacity plan
+//	GET  /healthz             200 while serving, 503 once draining
+//	GET  /metrics             JSON snapshot: serve counters + solver diagnostics
+//	GET  /debug/vars          process-wide expvar counters
 //
-// A cached or coalesced point never re-invokes the QBD solver, and the
-// daemon's metrics JSON for a point is byte-identical to
-// `bgperf solve -json` for the same configuration.
+// A cached or coalesced point never re-invokes the QBD solver, the daemon's
+// metrics JSON for a point is byte-identical to `bgperf solve -json` for
+// the same configuration, and its plan JSON is byte-identical to
+// `bgperf plan -json`.
 package main
 
 import (

@@ -2,6 +2,7 @@ package bgperf
 
 import (
 	"bgperf/internal/core"
+	"bgperf/internal/plan"
 	"bgperf/internal/qbd"
 )
 
@@ -25,4 +26,9 @@ var (
 	// ErrNoConvergence reports an iterative solver (logarithmic reduction,
 	// spectral iteration) that exhausted its iteration budget.
 	ErrNoConvergence = qbd.ErrNoConvergence
+	// ErrInfeasible reports a capacity-planning SLO (Plan, PlanFromTrace)
+	// that no value of the decision variable can meet — the constraint fails
+	// even with background work effectively disabled, or the foreground load
+	// alone saturates the server. The plan is never silently clamped.
+	ErrInfeasible = plan.ErrInfeasible
 )

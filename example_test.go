@@ -55,6 +55,25 @@ func ExampleSimulateReplications() {
 	// FG queue length: 1.15 ± 0.02
 }
 
+// ExamplePlan inverts the model: instead of solving metrics for a given
+// background probability, it finds the maximum background probability the
+// system can accept before the foreground queue-length SLO breaks.
+func ExamplePlan() {
+	sd, _ := bgperf.SoftwareDevelopmentWorkload()
+	arr, _ := bgperf.AtUtilization(sd, 0.3)
+	res, _ := bgperf.Plan(bgperf.Config{
+		Arrival:     arr,
+		ServiceRate: bgperf.ServiceRatePerMs,
+		BGBuffer:    5,
+		IdleRate:    bgperf.ServiceRatePerMs,
+	}, bgperf.SLO{QLenFG: 4.2})
+	fmt.Printf("max sustainable %s = %.3f\n", res.Var, res.Value)
+	fmt.Printf("FG queue length at the frontier: %.3f\n", res.Metrics.QLenFG)
+	// Output:
+	// max sustainable p = 0.077
+	// FG queue length at the frontier: 4.200
+}
+
 // ExampleWithObserver attaches a Diagnostics collector to a solve and reads
 // the convergence report the -diag CLI flag would write as JSON.
 func ExampleWithObserver() {

@@ -41,6 +41,36 @@ func TestRunConformance(t *testing.T) {
 	}
 }
 
+// TestPlanInversion runs the plan-inversion oracle on its own: the inverse
+// solver must round-trip against the forward solver with zero violations,
+// cycling all three decision variables.
+func TestPlanInversion(t *testing.T) {
+	n := 6
+	if !testing.Short() {
+		n = planCases
+	}
+	vs, inv, err := PlanInversion(context.Background(), n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("plan-inversion violation: %s", v)
+	}
+	if inv < n*5 {
+		t.Errorf("plan-inversion performed %d invariant checks, want >= %d", inv, n*5)
+	}
+}
+
+// TestPlanInversionCancellation pins that a canceled context surfaces as an
+// error, not a vacuously green (empty) violation list.
+func TestPlanInversionCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := PlanInversion(ctx, 4, 1); err == nil {
+		t.Fatal("cancelled oracle returned no error")
+	}
+}
+
 // TestGeneratorDeterministic pins that the case stream is a pure function of
 // the seed — conformance failures must be reproducible from (seed, index).
 func TestGeneratorDeterministic(t *testing.T) {

@@ -1,0 +1,191 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"bgperf/internal/core"
+	"bgperf/internal/plan"
+)
+
+// planSlack bounds how far below a known-feasible value the planner's
+// frontier may land: the continuous searches converge to DefaultTol (p:
+// absolute, α: relative), so twice that covers the final bracket.
+const planSlack = 2 * plan.DefaultTol
+
+// planCases caps the plan-inversion sample: each case costs a full bisection
+// (~20 forward solves), so the oracle samples rather than mirrors -n.
+const planCases = 16
+
+// PlanInversion cross-checks the inverse solver (internal/plan) against the
+// forward solver on generated configurations — the round-trip oracle behind
+// `bgperf check`. For each case it forward-solves the generated point, sets
+// the SLO exactly at that point's QLenFG, and verifies the planner's
+// contract:
+//
+//   - the plan succeeds (the generated value itself is feasible);
+//   - the frontier is no lower than the known-feasible generated value
+//     (within the convergence tolerance for the continuous variables);
+//   - an independent forward solve at the frontier reproduces the reported
+//     metrics to solver precision and satisfies the SLO;
+//   - the bracket, when present, genuinely violates the SLO on re-solve,
+//     and an at-cap result carries no bracket;
+//   - an SLO below the variable's reachable minimum (half the queue length
+//     with background disabled) returns ErrInfeasible — never a silently
+//     clamped frontier.
+//
+// The decision variable cycles p → X → α across cases, so every search mode
+// is exercised each run. At most planCases cases are checked (n permitting).
+// It returns the violations and the number of invariant checks performed;
+// the error reports harness-level failures (canceled context, a generated
+// config the forward solver rejects), not oracle verdicts.
+func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n > planCases {
+		n = planCases
+	}
+	gen := NewGenerator(seed)
+	vars := []plan.Var{plan.VarBGProb, plan.VarBGBuffer, plan.VarIdleRate}
+	var list []Violation
+	invariants := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, invariants, err
+		}
+		c := gen.Next()
+		v := vars[i%len(vars)]
+		vs := &violations{caseName: fmt.Sprintf("plan[%s]-%s", v, c.Name)}
+
+		genVal := generatedValue(c.Cfg, v)
+		base, err := solveConfig(c.Cfg)
+		if err != nil {
+			return nil, invariants, fmt.Errorf("check: plan oracle forward solve %s: %w", c.Name, err)
+		}
+		slo := plan.SLO{QLenFG: base.QLenFG}
+		opts := plan.Options{Var: v, Ctx: ctx}
+
+		res, err := plan.Maximize(c.Cfg, slo, opts)
+		invariants++
+		if err != nil {
+			vs.assert("plan-feasible",
+				fmt.Sprintf("plan with the SLO at its own forward solution must succeed, got: %v", err), false)
+			list = append(list, vs.list...)
+			continue
+		}
+
+		// The generated value is feasible by construction, so the searched
+		// maximum cannot land below it (beyond the convergence bracket).
+		invariants++
+		vs.assert("plan-covers-feasible",
+			fmt.Sprintf("frontier %s = %g must not be below the known-feasible %g",
+				v, res.Value, genVal),
+			res.Value >= feasibleFloor(v, genVal))
+
+		// Independent re-solve at the frontier: the deterministic forward
+		// solver must reproduce the reported metrics and satisfy the SLO.
+		front, err := solveConfig(withPlanVar(c.Cfg, v, res.Value))
+		if err != nil {
+			return nil, invariants, fmt.Errorf("check: plan oracle frontier solve %s: %w", vs.caseName, err)
+		}
+		invariants += 2
+		vs.add("plan-frontier-metrics", "re-solving the frontier must reproduce the reported QLenFG",
+			front.QLenFG, res.Metrics.QLenFG, invariantTol)
+		vs.assert("plan-slo-holds",
+			fmt.Sprintf("SLO (QLenFG <= %g) must hold at the frontier %s = %g (got QLenFG %g)",
+				slo.QLenFG, v, res.Value, front.QLenFG),
+			slo.Holds(front))
+
+		// The bracket is the smallest value the search proved infeasible; an
+		// at-cap result proved nothing infeasible and must carry no bracket.
+		invariants++
+		if res.AtCap {
+			vs.add("plan-bracket-atcap", "an at-cap result must carry no bracket", res.Bracket, 0, 0)
+		} else {
+			brk, err := solveConfig(withPlanVar(c.Cfg, v, res.Bracket))
+			if err != nil {
+				return nil, invariants, fmt.Errorf("check: plan oracle bracket solve %s: %w", vs.caseName, err)
+			}
+			vs.assert("plan-bracket-violates",
+				fmt.Sprintf("SLO (QLenFG <= %g) must be violated at the bracket %s = %g (got QLenFG %g)",
+					slo.QLenFG, v, res.Bracket, brk.QLenFG),
+				res.Bracket > res.Value && !slo.Holds(brk))
+		}
+
+		// Unreachable SLO: half the queue length with background disabled is
+		// below the variable's reachable minimum, so the planner must report
+		// ErrInfeasible — never clamp to an endpoint and call it a plan.
+		zero := c.Cfg
+		zero.BGProb = 0
+		floor, err := solveConfig(zero)
+		if err != nil {
+			return nil, invariants, fmt.Errorf("check: plan oracle floor solve %s: %w", c.Name, err)
+		}
+		_, err = plan.Maximize(c.Cfg, plan.SLO{QLenFG: floor.QLenFG / 2}, opts)
+		invariants++
+		vs.assert("plan-infeasible-typed",
+			fmt.Sprintf("an unreachable SLO (QLenFG <= %g, floor %g) must return ErrInfeasible, got: %v",
+				floor.QLenFG/2, floor.QLenFG, err),
+			err != nil && errors.Is(err, plan.ErrInfeasible))
+
+		list = append(list, vs.list...)
+	}
+	return list, invariants, nil
+}
+
+// generatedValue reads the decision variable's value out of a generated
+// configuration.
+func generatedValue(cfg core.Config, v plan.Var) float64 {
+	switch v {
+	case plan.VarBGBuffer:
+		return float64(cfg.BGBuffer)
+	case plan.VarIdleRate:
+		return cfg.IdleRate
+	default:
+		return cfg.BGProb
+	}
+}
+
+// withPlanVar returns cfg with the decision variable set to val, mirroring
+// the planner's own override.
+func withPlanVar(cfg core.Config, v plan.Var, val float64) core.Config {
+	switch v {
+	case plan.VarBGBuffer:
+		cfg.BGBuffer = int(val)
+	case plan.VarIdleRate:
+		cfg.IdleRate = val
+	default:
+		cfg.BGProb = val
+	}
+	return cfg
+}
+
+// feasibleFloor is the lowest frontier the search may report when genVal is
+// known feasible: exact for the integer buffer, one converged bracket below
+// for the continuous variables (absolute for p, relative for α).
+func feasibleFloor(v plan.Var, genVal float64) float64 {
+	switch v {
+	case plan.VarBGBuffer:
+		return genVal
+	case plan.VarIdleRate:
+		return genVal * (1 - planSlack)
+	default:
+		return genVal - planSlack
+	}
+}
+
+// solveConfig forward-solves one configuration with the default tuning (the
+// same path the planner's evaluations take).
+func solveConfig(cfg core.Config) (core.Metrics, error) {
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	return sol.Metrics, nil
+}

@@ -52,6 +52,9 @@ func (o Options) withDefaults() Options {
 const (
 	warmupTime  = 2000.0
 	measureTime = 30000.0
+	// planSeedOffset decorrelates the plan-inversion oracle's case stream
+	// from the sim-agreement stream while staying deterministic in the seed.
+	planSeedOffset = 7_654_321
 	// ciMult widens the per-metric Student-t 95% half-width: with four
 	// metrics on dozens of cases, 5% misses per comparison would make runs
 	// flaky, while 4× the half-width keeps false alarms below ~1e-4 per run
@@ -135,6 +138,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	// Exact bookkeeping matters less than a nonzero denominator for the
 	// summary; tally what the suites actually inspected.
 	rep.Invariants += 6*9 + 2*7 + (len([]float64{0, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9})-1)*2 + 8
+
+	// Plan-inversion oracle: the inverse solver must round-trip against the
+	// forward solver on its own case stream (seed offset keeps it independent
+	// of the sim comparison stream below).
+	pvs, pinv, err := PlanInversion(ctx, opts.N, opts.Seed+planSeedOffset)
+	if err != nil {
+		return nil, err
+	}
+	rep.Violations = append(rep.Violations, pvs...)
+	rep.Invariants += pinv
 
 	gen := NewGenerator(opts.Seed)
 	for i := 0; i < opts.N; i++ {

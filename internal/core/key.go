@@ -27,6 +27,12 @@ const (
 	keyTagIdlePolicy
 )
 
+// KeySectionPlan tags the planner extension section appended by CacheKeyExt:
+// the inverse solver's SLO bounds, decision variable, and search knobs. The
+// value sits far above the config field tags so a future config field can
+// never collide with a section tag.
+const KeySectionPlan byte = 0x50
+
 // CacheKey returns a canonical, collision-resistant identity for a model
 // configuration: the hex-encoded SHA-256 of a tagged binary encoding of the
 // validated Config (defaults applied). Two configurations receive the same
@@ -36,11 +42,38 @@ const (
 // identical keys always yield bit-identical solutions. Invalid
 // configurations return the same *ValidationError that NewModel would.
 func CacheKey(cfg Config) (string, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	h := sha256.New()
+	if err := hashConfig(h, cfg); err != nil {
 		return "", err
 	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CacheKeyExt returns CacheKey(cfg) extended with a tagged trailing section
+// of scalar parameters — the identity of a derived computation over the
+// configuration (a capacity plan, say) rather than of the bare solve. The
+// section byte (KeySectionPlan, …) namespaces the extension: the same
+// scalars under different sections, and a plain CacheKey with no section,
+// can never collide. Invalid configurations return the same
+// *ValidationError that NewModel would.
+func CacheKeyExt(cfg Config, section byte, ints []int64, floats []float64) (string, error) {
 	h := sha256.New()
+	if err := hashConfig(h, cfg); err != nil {
+		return "", err
+	}
+	keyInts(h, section, int64(len(ints)), int64(len(floats)))
+	keyInts(h, section, ints...)
+	keyFloats(h, section, floats...)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// hashConfig writes the tagged canonical encoding of the validated config
+// (defaults applied) into the hash.
+func hashConfig(h hash.Hash, cfg Config) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	keyMAP(h, keyTagArrival, cfg.Arrival)
 	switch {
 	case cfg.Service != nil:
@@ -58,7 +91,7 @@ func CacheKey(cfg Config) (string, error) {
 		keyFloats(h, keyTagIdleRate, cfg.IdleRate)
 	}
 	keyInts(h, keyTagIdlePolicy, int64(cfg.IdlePolicy))
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return nil
 }
 
 // keyInts writes a tagged sequence of integers into the hash.

@@ -16,6 +16,7 @@ var (
 	expServeCacheMisses = expvar.NewInt("bgperf.serve.cache_misses")
 	expServeCoalesced   = expvar.NewInt("bgperf.serve.coalesced")
 	expServeSolves      = expvar.NewInt("bgperf.serve.solves")
+	expServePlans       = expvar.NewInt("bgperf.serve.plans")
 	expServeInFlight    = expvar.NewInt("bgperf.serve.in_flight")
 	expServeRejected    = expvar.NewInt("bgperf.serve.rejected")
 )
@@ -41,6 +42,11 @@ type ServeStats struct {
 	// Solves counts solver invocations actually performed — cache misses
 	// that won their coalescing group and ran the QBD machinery.
 	Solves int64 `json:"solves"`
+	// Plans counts inverse-solver searches actually performed — capacity
+	// plans that missed the plan cache and won their coalescing group. One
+	// plan runs many internal forward solves; those are not counted under
+	// Solves, which tallies only request-level solver invocations.
+	Plans int64 `json:"plans"`
 	// InFlight is the number of solves running at snapshot time.
 	InFlight int64 `json:"inFlight"`
 	// Rejected counts requests refused with 503 while draining.
@@ -62,15 +68,16 @@ type ServeStats struct {
 type ServeCollector struct {
 	mu sync.Mutex
 
-	requests   int64
-	cacheHits  int64
-	cacheMiss  int64
-	coalesced  int64
-	solves     int64
-	inFlight   int64
-	rejected   int64
-	recorded   int64
-	latMs [serveLatencyWindow]float64
+	requests  int64
+	cacheHits int64
+	cacheMiss int64
+	coalesced int64
+	solves    int64
+	plans     int64
+	inFlight  int64
+	rejected  int64
+	recorded  int64
+	latMs     [serveLatencyWindow]float64
 }
 
 // NewServeCollector returns an empty serve-layer collector.
@@ -157,6 +164,32 @@ func (s *ServeCollector) SolveDone(d time.Duration) {
 	expServeSolves.Add(1)
 }
 
+// PlanStart records an inverse-solver search beginning; pair with PlanDone.
+func (s *ServeCollector) PlanStart() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+	expServeInFlight.Add(1)
+}
+
+// PlanDone records an inverse-solver search completing. Plan durations are
+// deliberately kept out of the solve-latency reservoir: one plan spans many
+// forward solves, so mixing the two would skew the quantiles.
+func (s *ServeCollector) PlanDone() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.inFlight--
+	s.plans++
+	s.mu.Unlock()
+	expServeInFlight.Add(-1)
+	expServePlans.Add(1)
+}
+
 // Snapshot returns a consistent copy of the serve-layer statistics,
 // including nearest-rank latency quantiles over the recent-sample window.
 func (s *ServeCollector) Snapshot() ServeStats {
@@ -170,6 +203,7 @@ func (s *ServeCollector) Snapshot() ServeStats {
 		CacheMisses: s.cacheMiss,
 		Coalesced:   s.coalesced,
 		Solves:      s.solves,
+		Plans:       s.plans,
 		InFlight:    s.inFlight,
 		Rejected:    s.rejected,
 	}

@@ -1,0 +1,595 @@
+// Package plan implements the inverse solver of the capacity-planning
+// subsystem: instead of the paper's forward question (given background
+// probability p, buffer X, and idle rate α, what happens to foreground
+// performance), it answers the operator's question — how much background
+// work can the system admit before a foreground SLO breaks.
+//
+// The search exploits the monotonicity the conformance oracles prove
+// (internal/check: QLenFG non-decreasing in p and X, and FG interference
+// non-decreasing in the idle rate α): the feasible set of each decision
+// variable is an interval anchored at its least-aggressive endpoint, so
+// bisection over the fast analytic engine finds the frontier in a few dozen
+// solves. Continuous variables (p, α) bisect to a relative tolerance; the
+// integer buffer X binary-searches [0, MaxBuffer]. Every reported frontier
+// is an actually-solved feasible point — the search never extrapolates — and
+// the smallest evaluated infeasible value is reported as the bracket, so a
+// forward solve can independently confirm both sides of the frontier.
+//
+// An SLO that fails even at the least-aggressive endpoint (p = 0, X = 0, or
+// a vanishing α) is reported with ErrInfeasible, never silently clamped;
+// a saturated foreground load (qbd.ErrUnstable) is likewise infeasible,
+// since stability is independent of all three decision variables.
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"bgperf/internal/core"
+	"bgperf/internal/obs"
+	"bgperf/internal/par"
+	"bgperf/internal/qbd"
+)
+
+// ErrInfeasible reports an SLO that no value of the decision variable can
+// meet: the constraint is violated even at the least-aggressive endpoint of
+// the search domain (or the foreground load alone saturates the server).
+// Match it with errors.Is through any wrapping.
+var ErrInfeasible = errors.New("plan: SLO infeasible")
+
+// Search defaults and domain bounds.
+const (
+	// DefaultTol is the default relative convergence tolerance of the
+	// continuous searches (absolute on p ∈ [0,1], multiplicative on α).
+	DefaultTol = 1e-4
+	// DefaultMaxIter is the default bisection iteration budget.
+	DefaultMaxIter = 64
+	// MaxBuffer caps the integer buffer search: X* = MaxBuffer with AtCap
+	// set means the SLO tolerates any buffer the model will realistically
+	// run with.
+	MaxBuffer = 64
+	// alphaLoFrac and alphaHiFrac bound the idle-rate search domain as
+	// multiples of the service rate µ: from an idle wait of 10^3 service
+	// times (background effectively disabled) down to 1/1024 of one
+	// (background admitted almost immediately). Wider windows hit the
+	// numerical limits of the boundary solve (extreme time-scale separation
+	// between idle expiry and service) without changing any answer.
+	alphaLoFrac = 1e-3
+	alphaHiFrac = 1024
+)
+
+// Var selects the decision variable of the inverse search.
+type Var int
+
+// Decision variables.
+const (
+	// VarBGProb searches the background spawn probability p over [0, 1].
+	VarBGProb Var = iota + 1
+	// VarBGBuffer searches the integer buffer capacity X over [0, MaxBuffer].
+	VarBGBuffer
+	// VarIdleRate searches the idle-wait rate α (higher α, shorter idle
+	// wait, more aggressive background admission) over a multiplicative
+	// window around the service rate.
+	VarIdleRate
+)
+
+// String returns the CLI/JSON spelling: "p", "x", or "alpha".
+func (v Var) String() string {
+	switch v {
+	case VarBGProb:
+		return "p"
+	case VarBGBuffer:
+		return "x"
+	case VarIdleRate:
+		return "alpha"
+	default:
+		return fmt.Sprintf("Var(%d)", int(v))
+	}
+}
+
+// ParseVar maps "p" / "x" / "alpha" back to the variable constants (the
+// inverse of Var.String). The empty string means the default, VarBGProb.
+func ParseVar(s string) (Var, error) {
+	switch strings.ToLower(s) {
+	case "", "p":
+		return VarBGProb, nil
+	case "x", "buffer":
+		return VarBGBuffer, nil
+	case "alpha", "a", "idlerate":
+		return VarIdleRate, nil
+	default:
+		return 0, core.NewValidationError(core.ErrConfig, "var",
+			"unknown decision variable %q (want p | x | alpha)", s)
+	}
+}
+
+// SLO bounds the foreground metrics a capacity plan must preserve. A zero
+// field is unconstrained; at least one bound must be set. All bounds are
+// upper bounds on the solved steady-state metric.
+type SLO struct {
+	// QLenFG bounds the mean foreground queue length (the paper's headline
+	// degradation metric); 0 means unconstrained.
+	QLenFG float64 `json:"qlenFG,omitempty"`
+	// WaitPFG bounds the fraction of foreground jobs delayed by background
+	// work, in (0, 1]; 0 means unconstrained.
+	WaitPFG float64 `json:"waitPFG,omitempty"`
+	// RespTimeFG bounds the mean foreground response time (model time
+	// units; milliseconds for the catalog workloads); 0 means unconstrained.
+	RespTimeFG float64 `json:"respTimeFG,omitempty"`
+}
+
+// Validate checks the SLO: at least one bound set, every set bound positive
+// and finite, WaitPFG at most 1 (it bounds a probability). Errors are
+// *core.ValidationError naming the offending field.
+func (s SLO) Validate() error {
+	check := func(field string, v float64) error {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return core.NewValidationError(core.ErrConfig, field,
+				"SLO bound %g must be positive and finite", v)
+		}
+		return nil
+	}
+	if err := check("QLenFG", s.QLenFG); err != nil {
+		return err
+	}
+	if err := check("WaitPFG", s.WaitPFG); err != nil {
+		return err
+	}
+	if err := check("RespTimeFG", s.RespTimeFG); err != nil {
+		return err
+	}
+	if s.WaitPFG > 1 {
+		return core.NewValidationError(core.ErrConfig, "WaitPFG",
+			"WaitPFG bounds a probability, %g must be at most 1", s.WaitPFG)
+	}
+	if s.QLenFG == 0 && s.WaitPFG == 0 && s.RespTimeFG == 0 {
+		return core.NewValidationError(core.ErrConfig, "SLO",
+			"at least one of QLenFG, WaitPFG, RespTimeFG must be set")
+	}
+	return nil
+}
+
+// Holds reports whether the solved metrics meet every set bound.
+func (s SLO) Holds(m core.Metrics) bool {
+	if s.QLenFG > 0 && !(m.QLenFG <= s.QLenFG) {
+		return false
+	}
+	if s.WaitPFG > 0 && !(m.WaitPFG <= s.WaitPFG) {
+		return false
+	}
+	if s.RespTimeFG > 0 && !(m.RespTimeFG <= s.RespTimeFG) {
+		return false
+	}
+	return true
+}
+
+// violation names the first violated bound for error messages.
+func (s SLO) violation(m core.Metrics) string {
+	switch {
+	case s.QLenFG > 0 && !(m.QLenFG <= s.QLenFG):
+		return fmt.Sprintf("QLenFG %.6g exceeds bound %.6g", m.QLenFG, s.QLenFG)
+	case s.WaitPFG > 0 && !(m.WaitPFG <= s.WaitPFG):
+		return fmt.Sprintf("WaitPFG %.6g exceeds bound %.6g", m.WaitPFG, s.WaitPFG)
+	case s.RespTimeFG > 0 && !(m.RespTimeFG <= s.RespTimeFG):
+		return fmt.Sprintf("RespTimeFG %.6g exceeds bound %.6g", m.RespTimeFG, s.RespTimeFG)
+	default:
+		return "no bound violated"
+	}
+}
+
+// Options parameterizes one inverse search. The zero value searches p with
+// the default tolerance and iteration budget, serially and unobserved.
+type Options struct {
+	// Var is the decision variable (default VarBGProb).
+	Var Var
+	// Tol is the convergence tolerance of the continuous searches; 0 means
+	// DefaultTol. The p search stops when the feasible/infeasible bracket is
+	// narrower than Tol; the α search when the bracket ratio is below 1+Tol.
+	Tol float64
+	// MaxIter bounds the bisection iterations; 0 means DefaultMaxIter.
+	MaxIter int
+	// Workers bounds the intra-solve parallelism and the sensitivity-
+	// neighborhood fan-out; <= 0 means serial solves and one worker per
+	// neighbor.
+	Workers int
+	// Scheme selects the R iteration of the underlying solves.
+	Scheme qbd.RScheme
+	// Observer optionally receives the diagnostics of every forward solve
+	// the search performs.
+	Observer obs.Observer
+	// Ctx cancels the search between solves; nil means never.
+	Ctx context.Context
+}
+
+// withDefaults resolves the zero values. It is the single defaulting point:
+// the facade, the CLI, and the daemon all pass zero-valued knobs through
+// here, so the same request always searches identically and cache-keys
+// identically.
+func (o Options) withDefaults() Options {
+	if o.Var == 0 {
+		o.Var = VarBGProb
+	}
+	if o.Tol == 0 {
+		o.Tol = DefaultTol
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	return o
+}
+
+// Neighbor is one point of the sensitivity neighborhood around the frontier:
+// the decision-variable value, whether the SLO holds there, and the full
+// solved metrics.
+type Neighbor struct {
+	// Value is the decision-variable value of this point.
+	Value float64 `json:"value"`
+	// Holds reports whether the SLO is met at this point.
+	Holds bool `json:"holds"`
+	// Metrics are the solved steady-state metrics at this point.
+	Metrics core.Metrics `json:"metrics"`
+}
+
+// Result is a capacity plan: the frontier value of the decision variable,
+// the solved metrics there, and a small sensitivity neighborhood. The JSON
+// encoding is the byte-for-byte contract shared by `bgperf plan -json` and
+// the daemon's /v1/optimize "plan" object.
+type Result struct {
+	// Var is the decision variable searched ("p", "x", or "alpha").
+	Var string `json:"var"`
+	// Value is the maximum feasible value found: the SLO holds at the
+	// forward solve of this exact point.
+	Value float64 `json:"value"`
+	// AtCap reports that the SLO holds at the domain maximum (p = 1,
+	// X = MaxBuffer, or the top of the α window), so Value is the cap
+	// rather than a constraint frontier and Bracket is 0.
+	AtCap bool `json:"atCap"`
+	// Bracket is the smallest evaluated value at which the SLO failed — the
+	// infeasible side of the final bisection bracket (0 when AtCap). A
+	// forward solve at Bracket independently confirms the frontier.
+	Bracket float64 `json:"bracket"`
+	// Iterations counts bisection steps.
+	Iterations int `json:"iterations"`
+	// Solves counts every forward solve the search performed, endpoints
+	// and neighborhood included.
+	Solves int `json:"solves"`
+	// SLO echoes the constraints the plan satisfies.
+	SLO SLO `json:"slo"`
+	// Metrics are the solved steady-state metrics at Value.
+	Metrics core.Metrics `json:"metrics"`
+	// Neighborhood holds the frontier and its perturbed neighbors in
+	// ascending Value order, for sensitivity reading ("one buffer slot more
+	// breaks the SLO; 5% less p buys this much margin").
+	Neighborhood []Neighbor `json:"neighborhood"`
+}
+
+// CacheKey returns the canonical identity of a plan request: the config key
+// (core.CacheKey) with the searched variable normalized out, extended with a
+// KeySectionPlan-tagged encoding of the SLO bounds and search knobs
+// (core.CacheKeyExt). Two requests receive the same key exactly when
+// Maximize returns bit-identical results for them, so the key is safe for
+// memoizing plans; option defaults are resolved first, so explicit and
+// implicit defaults key identically.
+func CacheKey(cfg core.Config, slo SLO, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	if err := slo.Validate(); err != nil {
+		return "", err
+	}
+	if err := validateVar(cfg, opts.Var); err != nil {
+		return "", err
+	}
+	// The searched variable's base value never reaches a solve, so it is
+	// canonicalized out of the key: plans differing only in the overridden
+	// field share an entry.
+	norm := cfg
+	switch opts.Var {
+	case VarBGProb:
+		norm.BGProb = 0
+	case VarBGBuffer:
+		norm.BGBuffer = 0
+	case VarIdleRate:
+		norm.IdleRate = 1
+	}
+	return core.CacheKeyExt(norm, core.KeySectionPlan,
+		[]int64{int64(opts.Var), int64(opts.MaxIter)},
+		[]float64{slo.QLenFG, slo.WaitPFG, slo.RespTimeFG, opts.Tol})
+}
+
+// validateVar checks variable-specific preconditions on the base config.
+func validateVar(cfg core.Config, v Var) error {
+	switch v {
+	case VarBGProb, VarBGBuffer:
+		if v == VarBGBuffer && cfg.IdleRate <= 0 && cfg.IdleWait == nil {
+			return core.NewValidationError(core.ErrConfig, "IdleRate",
+				"buffer search needs an idle-wait law (IdleRate or IdleWait) so nonzero buffers are solvable")
+		}
+		return nil
+	case VarIdleRate:
+		if cfg.IdleWait != nil {
+			return core.NewValidationError(core.ErrConfig, "IdleWait",
+				"idle-rate search requires an exponential idle wait (IdleRate), not a phase-type IdleWait")
+		}
+		return nil
+	default:
+		return core.NewValidationError(core.ErrConfig, "Var",
+			"unknown decision variable %d", int(v))
+	}
+}
+
+// searcher carries one search's state: the base config, constraints, and
+// resolved options, plus the running solve count.
+type searcher struct {
+	cfg    core.Config
+	slo    SLO
+	opts   Options
+	solves int
+}
+
+// Maximize finds the maximum value of the decision variable opts.Var at
+// which cfg still meets slo, by bisection (p, α) or integer binary search
+// (X) over forward analytic solves. It returns ErrInfeasible (wrapped, with
+// the violated bound named) when even the least-aggressive endpoint fails,
+// and a *core.ValidationError for invalid SLOs, configs, or variable/config
+// combinations. The result's Value is always a point that was actually
+// solved and found feasible.
+func Maximize(cfg core.Config, slo SLO, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := slo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateVar(cfg, opts.Var); err != nil {
+		return nil, err
+	}
+	// Validate the base config once, before any solve: the searched field is
+	// overridden per candidate, but every other field must already be sound.
+	if _, err := core.CacheKey(cfg); err != nil {
+		return nil, err
+	}
+	s := &searcher{cfg: cfg, slo: slo, opts: opts}
+	var (
+		res *Result
+		err error
+	)
+	if opts.Var == VarBGBuffer {
+		res, err = s.searchInt()
+	} else {
+		res, err = s.searchCont()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.neighborhood(res); err != nil {
+		return nil, err
+	}
+	res.Var = opts.Var.String()
+	res.SLO = slo
+	res.Solves = s.solves
+	return res, nil
+}
+
+// domain returns the continuous search interval [lo, hi] for the variable.
+func (s *searcher) domain() (lo, hi float64) {
+	if s.opts.Var == VarBGProb {
+		return 0, 1
+	}
+	mu := serviceRateOf(s.cfg)
+	return alphaLoFrac * mu, alphaHiFrac * mu
+}
+
+// serviceRateOf extracts the (mean) service rate µ, the natural scale of
+// the idle-rate domain.
+func serviceRateOf(cfg core.Config) float64 {
+	switch {
+	case cfg.Service != nil:
+		return 1 / cfg.Service.Mean()
+	case cfg.ServiceMAP != nil:
+		return cfg.ServiceMAP.Rate()
+	default:
+		return cfg.ServiceRate
+	}
+}
+
+// eval forward-solves the base config with the decision variable set to val
+// and reports whether the SLO holds there, counting the solve.
+func (s *searcher) eval(val float64) (core.Metrics, bool, error) {
+	s.solves++
+	return evalAt(s.cfg, s.slo, s.opts, val)
+}
+
+// evalAt is the goroutine-safe core of eval: it owns no searcher state, so
+// the neighborhood fan-out can call it concurrently. A saturated model maps
+// to ErrInfeasible directly: stability does not depend on any of the
+// decision variables, so no value can rescue it.
+func evalAt(cfg core.Config, slo SLO, opts Options, val float64) (core.Metrics, bool, error) {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return core.Metrics{}, false, fmt.Errorf("plan: canceled: %w", err)
+		}
+	}
+	switch opts.Var {
+	case VarBGProb:
+		cfg.BGProb = val
+	case VarBGBuffer:
+		cfg.BGBuffer = int(math.Round(val))
+	case VarIdleRate:
+		cfg.IdleRate = val
+	}
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		return core.Metrics{}, false, err
+	}
+	model.Tune(qbd.Tuning{Scheme: opts.Scheme, Workers: opts.Workers})
+	sol, err := model.SolveObserved(opts.Observer)
+	if err != nil {
+		if errors.Is(err, qbd.ErrUnstable) {
+			return core.Metrics{}, false, fmt.Errorf(
+				"%w: foreground load alone saturates the server: %v", ErrInfeasible, err)
+		}
+		return core.Metrics{}, false, err
+	}
+	return sol.Metrics, slo.Holds(sol.Metrics), nil
+}
+
+// searchCont bisects the continuous variables. The p search halves an
+// absolute bracket; the α search halves in log space (the domain spans eight
+// orders of magnitude), both maintaining the invariant lo feasible / hi
+// infeasible.
+func (s *searcher) searchCont() (*Result, error) {
+	lo, hi := s.domain()
+	mLo, okLo, err := s.eval(lo)
+	if err != nil {
+		return nil, err
+	}
+	if !okLo {
+		return nil, fmt.Errorf("%w: %s even at %s = %g", ErrInfeasible,
+			s.slo.violation(mLo), s.opts.Var, lo)
+	}
+	mHi, okHi, err := s.eval(hi)
+	if err != nil {
+		return nil, err
+	}
+	if okHi {
+		return &Result{Value: hi, AtCap: true, Metrics: mHi}, nil
+	}
+	iters := 0
+	for iters < s.opts.MaxIter && !s.converged(lo, hi) {
+		mid := s.midpoint(lo, hi)
+		if !(mid > lo && mid < hi) {
+			break // bracket exhausted at float resolution
+		}
+		m, ok, err := s.eval(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo, mLo = mid, m
+		} else {
+			hi = mid
+		}
+		iters++
+	}
+	return &Result{Value: lo, Bracket: hi, Iterations: iters, Metrics: mLo}, nil
+}
+
+// converged reports whether the bracket is within tolerance.
+func (s *searcher) converged(lo, hi float64) bool {
+	if s.opts.Var == VarIdleRate {
+		return hi <= lo*(1+s.opts.Tol)
+	}
+	return hi-lo <= s.opts.Tol
+}
+
+// midpoint bisects arithmetically for p and geometrically for α.
+func (s *searcher) midpoint(lo, hi float64) float64 {
+	if s.opts.Var == VarIdleRate {
+		return math.Sqrt(lo * hi)
+	}
+	return (lo + hi) / 2
+}
+
+// searchInt binary-searches the integer buffer on [0, MaxBuffer] with the
+// same feasible-lo / infeasible-hi invariant.
+func (s *searcher) searchInt() (*Result, error) {
+	lo, hi := 0, MaxBuffer
+	mLo, okLo, err := s.eval(float64(lo))
+	if err != nil {
+		return nil, err
+	}
+	if !okLo {
+		return nil, fmt.Errorf("%w: %s even at X = 0 (no background admitted)",
+			ErrInfeasible, s.slo.violation(mLo))
+	}
+	mHi, okHi, err := s.eval(float64(hi))
+	if err != nil {
+		return nil, err
+	}
+	if okHi {
+		return &Result{Value: float64(hi), AtCap: true, Metrics: mHi}, nil
+	}
+	iters := 0
+	for iters < s.opts.MaxIter && hi-lo > 1 {
+		mid := (lo + hi) / 2
+		m, ok, err := s.eval(float64(mid))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo, mLo = mid, m
+		} else {
+			hi = mid
+		}
+		iters++
+	}
+	return &Result{Value: float64(lo), Bracket: float64(hi), Iterations: iters, Metrics: mLo}, nil
+}
+
+// neighborhood solves the sensitivity points around the frontier (fanned
+// over the worker pool) and attaches them, frontier included, in ascending
+// value order.
+func (s *searcher) neighborhood(res *Result) error {
+	vals := s.neighborValues(res)
+	points := make([]Neighbor, len(vals)+1)
+	points[0] = Neighbor{Value: res.Value, Holds: true, Metrics: res.Metrics}
+	// Each worker solves an independent candidate through the stateless
+	// evalAt; the solve count is totaled up-front.
+	s.solves += len(vals)
+	if err := par.ForCtx(s.opts.Ctx, s.opts.Workers, len(vals), func(i int) error {
+		m, ok, err := evalAt(s.cfg, s.slo, s.opts, vals[i])
+		if err != nil {
+			// Neighbors beyond the frontier are expected to violate the SLO,
+			// not to fail; any solve error aborts the plan.
+			return err
+		}
+		points[i+1] = Neighbor{Value: vals[i], Holds: ok, Metrics: m}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Deterministic ascending order regardless of fan-out scheduling.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j].Value < points[j-1].Value; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	res.Neighborhood = points
+	return nil
+}
+
+// neighborValues picks the perturbed sensitivity points: ±1 buffer slot for
+// X, ±5% (at least one tolerance) for p, ×/÷1.05 for α, clamped to the
+// domain and deduplicated against the frontier.
+func (s *searcher) neighborValues(res *Result) []float64 {
+	v := res.Value
+	var cands []float64
+	switch s.opts.Var {
+	case VarBGBuffer:
+		cands = []float64{v - 1, v + 1}
+		lo, hi := 0.0, float64(MaxBuffer)
+		return clampVals(cands, v, lo, hi)
+	case VarIdleRate:
+		lo, hi := s.domain()
+		cands = []float64{v / 1.05, v * 1.05}
+		return clampVals(cands, v, lo, hi)
+	default:
+		step := math.Max(0.05*v, s.opts.Tol)
+		cands = []float64{v - step, v + step}
+		return clampVals(cands, v, 0, 1)
+	}
+}
+
+// clampVals clamps candidates into [lo, hi] and drops duplicates of the
+// frontier value v.
+func clampVals(cands []float64, v, lo, hi float64) []float64 {
+	out := cands[:0]
+	for _, c := range cands {
+		c = math.Min(math.Max(c, lo), hi)
+		if c == v {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -4,73 +4,84 @@ import (
 	"container/list"
 	"sync"
 	"unsafe"
-
-	"bgperf/internal/core"
 )
 
 // entryOverhead approximates the per-entry bookkeeping cost charged against
-// the byte budget on top of the key and the metrics payload: the list
+// the byte budget on top of the key and the value payload: the list
 // element, the map bucket share, and the entry struct itself.
 const entryOverhead = 128
 
-// cache is a concurrency-safe LRU of solved metrics keyed by the canonical
-// Config hash (core.CacheKey). It is doubly bounded: by entry count and by
-// an approximate byte budget; inserting past either bound evicts from the
-// least-recently-used end. Identical keys always carry bit-identical
-// metrics (the solver is deterministic), so Add never needs to compare or
-// overwrite payloads — re-adding an existing key just refreshes its recency.
-type cache struct {
+// cache is a concurrency-safe LRU of solved values keyed by a canonical
+// request hash (core.CacheKey for metrics, plan.CacheKey for capacity
+// plans). It is doubly bounded: by entry count and by an approximate byte
+// budget; inserting past either bound evicts from the least-recently-used
+// end. Identical keys always carry bit-identical values (the solver and the
+// planner are deterministic), so Add never needs to compare or overwrite
+// payloads — re-adding an existing key just refreshes its recency.
+type cache[V any] struct {
 	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int64
 	bytes      int64
 	ll         *list.List
 	items      map[string]*list.Element
+
+	// sizeOf estimates the payload bytes of one value for the byte budget;
+	// nil charges the shallow struct size (right for flat values like
+	// core.Metrics, an undercount for pointer-rich ones).
+	sizeOf func(V) int64
 }
 
-// cacheEntry is one key → metrics binding plus its charged size.
-type cacheEntry struct {
+// cacheEntry is one key → value binding plus its charged size.
+type cacheEntry[V any] struct {
 	key  string
-	m    core.Metrics
+	v    V
 	size int64
 }
 
 // newCache returns an LRU bounded to maxEntries entries and maxBytes
-// approximate bytes. maxEntries <= 0 disables caching entirely (Get always
+// approximate bytes, charging sizeOf(v) per value (nil means the shallow
+// struct size). maxEntries <= 0 disables caching entirely (Get always
 // misses, Add discards); maxBytes <= 0 means no byte bound.
-func newCache(maxEntries int, maxBytes int64) *cache {
-	return &cache{
+func newCache[V any](maxEntries int, maxBytes int64, sizeOf func(V) int64) *cache[V] {
+	return &cache[V]{
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		ll:         list.New(),
 		items:      make(map[string]*list.Element),
+		sizeOf:     sizeOf,
 	}
 }
 
-// entrySize charges the key bytes, the metrics struct, and the fixed
+// entrySize charges the key bytes, the value payload, and the fixed
 // overhead against the byte budget.
-func entrySize(key string) int64 {
-	return int64(len(key)) + int64(unsafe.Sizeof(core.Metrics{})) + entryOverhead
+func (c *cache[V]) entrySize(key string, v V) int64 {
+	n := int64(len(key)) + entryOverhead
+	if c.sizeOf != nil {
+		return n + c.sizeOf(v)
+	}
+	return n + int64(unsafe.Sizeof(v))
 }
 
-// Get returns the cached metrics for key and refreshes its recency.
-func (c *cache) Get(key string) (core.Metrics, bool) {
+// Get returns the cached value for key and refreshes its recency.
+func (c *cache[V]) Get(key string) (V, bool) {
+	var zero V
 	if c == nil || c.maxEntries <= 0 {
-		return core.Metrics{}, false
+		return zero, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return core.Metrics{}, false
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).m, true
+	return el.Value.(*cacheEntry[V]).v, true
 }
 
-// Add inserts key → m, evicting least-recently-used entries until both
+// Add inserts key → v, evicting least-recently-used entries until both
 // bounds hold again. Adding a present key only refreshes its recency.
-func (c *cache) Add(key string, m core.Metrics) {
+func (c *cache[V]) Add(key string, v V) {
 	if c == nil || c.maxEntries <= 0 {
 		return
 	}
@@ -80,7 +91,7 @@ func (c *cache) Add(key string, m core.Metrics) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	e := &cacheEntry{key: key, m: m, size: entrySize(key)}
+	e := &cacheEntry[V]{key: key, v: v, size: c.entrySize(key, v)}
 	c.items[key] = c.ll.PushFront(e)
 	c.bytes += e.size
 	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
@@ -89,19 +100,19 @@ func (c *cache) Add(key string, m core.Metrics) {
 }
 
 // evictOldest removes the least-recently-used entry; callers hold c.mu.
-func (c *cache) evictOldest() {
+func (c *cache[V]) evictOldest() {
 	el := c.ll.Back()
 	if el == nil {
 		return
 	}
-	e := el.Value.(*cacheEntry)
+	e := el.Value.(*cacheEntry[V])
 	c.ll.Remove(el)
 	delete(c.items, e.key)
 	c.bytes -= e.size
 }
 
 // Len returns the current entry count.
-func (c *cache) Len() int {
+func (c *cache[V]) Len() int {
 	if c == nil {
 		return 0
 	}
@@ -111,7 +122,7 @@ func (c *cache) Len() int {
 }
 
 // Bytes returns the approximate bytes currently charged.
-func (c *cache) Bytes() int64 {
+func (c *cache[V]) Bytes() int64 {
 	if c == nil {
 		return 0
 	}

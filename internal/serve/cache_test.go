@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"testing"
+	"unsafe"
 
 	"bgperf/internal/core"
 )
@@ -10,7 +11,7 @@ import (
 func metricsN(n int) core.Metrics { return core.Metrics{QLenFG: float64(n)} }
 
 func TestCacheEntryBound(t *testing.T) {
-	c := newCache(3, 0)
+	c := newCache[core.Metrics](3, 0, nil)
 	for i := 0; i < 5; i++ {
 		c.Add(fmt.Sprintf("k%d", i), metricsN(i))
 	}
@@ -31,7 +32,7 @@ func TestCacheEntryBound(t *testing.T) {
 }
 
 func TestCacheRecency(t *testing.T) {
-	c := newCache(2, 0)
+	c := newCache[core.Metrics](2, 0, nil)
 	c.Add("a", metricsN(1))
 	c.Add("b", metricsN(2))
 	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
@@ -47,8 +48,8 @@ func TestCacheRecency(t *testing.T) {
 }
 
 func TestCacheByteBudget(t *testing.T) {
-	per := entrySize("somekey-0")
-	c := newCache(1000, 3*per)
+	per := int64(len("somekey-0")) + int64(unsafe.Sizeof(core.Metrics{})) + entryOverhead
+	c := newCache[core.Metrics](1000, 3*per, nil)
 	for i := 0; i < 5; i++ {
 		c.Add(fmt.Sprintf("somekey-%d", i), metricsN(i))
 	}
@@ -64,7 +65,7 @@ func TestCacheByteBudget(t *testing.T) {
 // entry still caches the most recent entry rather than thrashing to empty —
 // the eviction loop never removes the entry it just inserted.
 func TestCacheByteBudgetKeepsOne(t *testing.T) {
-	c := newCache(1000, 1)
+	c := newCache[core.Metrics](1000, 1, nil)
 	c.Add("a", metricsN(1))
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want the just-inserted entry to survive", c.Len())
@@ -79,7 +80,7 @@ func TestCacheByteBudgetKeepsOne(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := newCache(0, 0)
+	c := newCache[core.Metrics](0, 0, nil)
 	c.Add("a", metricsN(1))
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache must always miss")
@@ -90,7 +91,7 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestCacheReAddRefreshes(t *testing.T) {
-	c := newCache(2, 0)
+	c := newCache[core.Metrics](2, 0, nil)
 	c.Add("a", metricsN(1))
 	c.Add("b", metricsN(2))
 	c.Add("a", metricsN(1)) // refresh, not duplicate

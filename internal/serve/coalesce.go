@@ -4,21 +4,20 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
-
-	"bgperf/internal/core"
 )
 
-// flightGroup coalesces concurrent solves of the same cache key: the first
-// request for a key (the leader) runs the solver; requests arriving while
-// that solve is in flight (followers) block on its completion and share the
-// result, so N identical concurrent requests cost exactly one solve. This
-// is a purpose-built singleflight with two twists the serving layer needs:
-// followers report whether they coalesced (for the hit counters), and a
-// follower whose context expires stops waiting and returns the context
-// error — one slow solve cannot pin a faster caller past its deadline.
-type flightGroup struct {
+// flightGroup coalesces concurrent work on the same cache key: the first
+// request for a key (the leader) runs the function; requests arriving while
+// that call is in flight (followers) block on its completion and share the
+// result, so N identical concurrent requests cost exactly one solve (or one
+// plan — the group is generic over the result type). This is a purpose-built
+// singleflight with two twists the serving layer needs: followers report
+// whether they coalesced (for the hit counters), and a follower whose
+// context expires stops waiting and returns the context error — one slow
+// call cannot pin a faster caller past its deadline.
+type flightGroup[V any] struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[string]*flightCall[V]
 
 	// waiters counts followers currently parked on an in-flight call. Tests
 	// read it to sequence deterministic coalescing scenarios; nothing in the
@@ -26,25 +25,25 @@ type flightGroup struct {
 	waiters atomic.Int64
 }
 
-// flightCall is one in-flight solve; done closes when val/err are final.
-type flightCall struct {
+// flightCall is one in-flight call; done closes when val/err are final.
+type flightCall[V any] struct {
 	done chan struct{}
-	val  core.Metrics
+	val  V
 	err  error
 }
 
 // newFlightGroup returns an empty coalescing group.
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+func newFlightGroup[V any]() *flightGroup[V] {
+	return &flightGroup[V]{calls: make(map[string]*flightCall[V])}
 }
 
 // Do returns the result of fn for key, running fn at most once across
 // concurrent callers with the same key. The boolean reports whether this
-// caller coalesced onto another caller's solve (false for the leader). A
+// caller coalesced onto another caller's call (false for the leader). A
 // follower returns ctx.Err() if its context ends before the leader
 // finishes; the leader itself always runs fn to completion so its result
 // can still populate the cache for later requests.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (core.Metrics, error)) (core.Metrics, error, bool) {
+func (g *flightGroup[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, error, bool) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
@@ -54,10 +53,11 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (core.Metric
 		case <-c.done:
 			return c.val, c.err, true
 		case <-ctx.Done():
-			return core.Metrics{}, ctx.Err(), true
+			var zero V
+			return zero, ctx.Err(), true
 		}
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall[V]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 

@@ -11,7 +11,7 @@ import (
 )
 
 func TestFlightGroupSingleCall(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup[core.Metrics]()
 	var calls atomic.Int64
 	release := make(chan struct{})
 	leaderIn := make(chan struct{})
@@ -69,7 +69,7 @@ func TestFlightGroupSingleCall(t *testing.T) {
 }
 
 func TestFlightGroupFollowerDeadline(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup[core.Metrics]()
 	block := make(chan struct{})
 	leaderIn := make(chan struct{})
 	go g.Do(context.Background(), "k", func() (core.Metrics, error) {
@@ -95,7 +95,7 @@ func TestFlightGroupFollowerDeadline(t *testing.T) {
 }
 
 func TestFlightGroupErrorShared(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup[core.Metrics]()
 	sentinel := errors.New("boom")
 	_, err, _ := g.Do(context.Background(), "k", func() (core.Metrics, error) {
 		return core.Metrics{}, sentinel

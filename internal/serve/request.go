@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"math"
 	"strings"
 
 	"bgperf/internal/arrival"
 	"bgperf/internal/core"
 	"bgperf/internal/phtype"
+	"bgperf/internal/plan"
 	"bgperf/internal/workload"
 )
 
@@ -49,6 +51,62 @@ type SweepRequest struct {
 	Points []SolveRequest `json:"points"`
 }
 
+// OptimizeRequest is the JSON body of POST /v1/optimize: one capacity-plan
+// point. The embedded SolveRequest fields describe the base model exactly
+// as /v1/solve would (same defaults, same vocabulary); the plan fields
+// select the decision variable, the SLO to preserve, and the search knobs.
+// The base model's value of the searched variable is irrelevant — the
+// search overrides it — and is normalized out of the plan cache key.
+type OptimizeRequest struct {
+	SolveRequest
+	// SLO bounds the foreground metrics the plan must preserve; at least
+	// one of qlenFG, waitPFG, respTimeFG must be set.
+	SLO plan.SLO `json:"slo"`
+	// Var names the decision variable: p (default), x, or alpha.
+	Var string `json:"var,omitempty"`
+	// Tolerance is the convergence tolerance of the continuous searches;
+	// 0 means the planner default (1e-4).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// MaxIter bounds the bisection iterations; 0 means the planner
+	// default (64).
+	MaxIter int `json:"maxIter,omitempty"`
+}
+
+// PlanInputs resolves the request into the planner's inputs: the validated
+// base config (through the same ConfigWithArrival path as a solve), the
+// SLO, and the search options with the daemon-independent knobs filled in.
+// The caller stamps the runtime knobs (workers, observer, context) before
+// searching. Errors are *core.ValidationError naming the request field.
+func (r OptimizeRequest) PlanInputs() (core.Config, plan.SLO, plan.Options, error) {
+	cfg, err := r.SolveRequest.Config()
+	if err != nil {
+		return core.Config{}, plan.SLO{}, plan.Options{}, err
+	}
+	opts, err := r.planOptions()
+	if err != nil {
+		return core.Config{}, plan.SLO{}, plan.Options{}, err
+	}
+	return cfg, r.SLO, opts, nil
+}
+
+// planOptions validates and resolves the search knobs shared by
+// /v1/optimize and /v1/plan-from-trace.
+func (r OptimizeRequest) planOptions() (plan.Options, error) {
+	v, err := plan.ParseVar(r.Var)
+	if err != nil {
+		return plan.Options{}, err
+	}
+	if r.Tolerance < 0 || math.IsNaN(r.Tolerance) || math.IsInf(r.Tolerance, 0) {
+		return plan.Options{}, core.NewValidationError(core.ErrConfig, "tolerance",
+			"tolerance %g must be positive and finite", r.Tolerance)
+	}
+	if r.MaxIter < 0 {
+		return plan.Options{}, core.NewValidationError(core.ErrConfig, "maxIter",
+			"maxIter %d must be positive", r.MaxIter)
+	}
+	return plan.Options{Var: v, Tol: r.Tolerance, MaxIter: r.MaxIter}, nil
+}
+
 // workloadByName resolves a catalog workload (the CLI's vocabulary).
 func workloadByName(name string) (*arrival.MAP, error) {
 	switch strings.ToLower(name) {
@@ -78,6 +136,18 @@ func (r SolveRequest) Config() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	return r.ConfigWithArrival(m)
+}
+
+// ConfigWithArrival resolves the request against an explicit arrival
+// process instead of a catalog workload — the plan-from-trace path, where
+// the arrival MAP is fitted from an uploaded trace. The Workload field is
+// ignored; Utilization (if set) rescales the given process exactly as it
+// would a catalog workload. This is the single defaulting point shared by
+// /v1/solve, /v1/optimize, /v1/plan-from-trace, and the bgperf CLI, so the
+// same parameters always describe — and cache-key to — the same model.
+func (r SolveRequest) ConfigWithArrival(m *arrival.MAP) (core.Config, error) {
+	var err error
 	if r.Utilization < 0 {
 		return core.Config{}, core.NewValidationError(core.ErrConfig, "utilization",
 			"utilization %g must be non-negative", r.Utilization)

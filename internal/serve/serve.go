@@ -13,12 +13,21 @@
 //     context deadline (504 on expiry), and a draining server answers new
 //     work with 503 while in-flight solves complete.
 //
+// The same stack serves the inverse solver: POST /v1/optimize answers
+// capacity plans (max sustainable background probability, buffer, or idle
+// rate under a foreground SLO) through a plan cache and plan coalescing
+// group keyed by plan.CacheKey, and POST /v1/plan-from-trace runs the
+// paper's complete workflow — upload an NDJSON trace, fit an MMPP(2),
+// project the capacity plan — in one request.
+//
 // Endpoints: POST /v1/solve (one parameter point), POST /v1/sweep (a batch
-// fanned out over the internal/par worker pool), GET /healthz, GET /metrics
-// (JSON snapshot: serve-layer counters plus the solver diagnostics report),
-// and GET /debug/vars (the process-wide expvar mirrors). Everything is
-// instrumented through internal/obs: cache hits and misses, coalesced
-// requests, in-flight solves, and p50/p99 solve latency.
+// fanned out over the internal/par worker pool), POST /v1/optimize (one
+// capacity plan), POST /v1/plan-from-trace (trace upload → fit → plan),
+// GET /healthz, GET /metrics (JSON snapshot: serve-layer counters plus the
+// solver diagnostics report), and GET /debug/vars (the process-wide expvar
+// mirrors). Everything is instrumented through internal/obs: cache hits and
+// misses, coalesced requests, in-flight solves and plans, and p50/p99 solve
+// latency.
 package serve
 
 import (
@@ -28,13 +37,19 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"bgperf/internal/core"
 	"bgperf/internal/obs"
 	"bgperf/internal/par"
+	"bgperf/internal/plan"
 	"bgperf/internal/qbd"
+	"bgperf/internal/trace"
+	"bgperf/internal/workload"
 )
 
 // Serving defaults, overridable through Options (and the bgperfd flags).
@@ -74,15 +89,17 @@ type Options struct {
 // coalescing group, and the serve-layer statistics. Create it with New and
 // mount Handler on an http.Server.
 type Server struct {
-	cache    *cache
-	group    *flightGroup
-	stats    *obs.ServeCollector
-	diag     *obs.Diagnostics
-	observer obs.Observer
-	workers  int
-	timeout  time.Duration
-	draining atomic.Bool
-	mux      *http.ServeMux
+	cache     *cache[core.Metrics]
+	plans     *cache[*plan.Result]
+	group     *flightGroup[core.Metrics]
+	planGroup *flightGroup[*plan.Result]
+	stats     *obs.ServeCollector
+	diag      *obs.Diagnostics
+	observer  obs.Observer
+	workers   int
+	timeout   time.Duration
+	draining  atomic.Bool
+	mux       *http.ServeMux
 
 	// solveBarrier, when set by tests, runs inside the leader's solve —
 	// before the solver — so tests can hold a solve in flight while
@@ -111,13 +128,15 @@ func New(opts Options) *Server {
 		timeout = DefaultRequestTimeout
 	}
 	s := &Server{
-		cache:   newCache(entries, bytes),
-		group:   newFlightGroup(),
-		stats:   obs.NewServeCollector(),
-		diag:    obs.NewDiagnostics(),
-		workers: opts.Workers,
-		timeout: timeout,
-		mux:     http.NewServeMux(),
+		cache:     newCache[core.Metrics](entries, bytes, nil),
+		plans:     newCache[*plan.Result](entries, bytes, planResultSize),
+		group:     newFlightGroup[core.Metrics](),
+		planGroup: newFlightGroup[*plan.Result](),
+		stats:     obs.NewServeCollector(),
+		diag:      obs.NewDiagnostics(),
+		workers:   opts.Workers,
+		timeout:   timeout,
+		mux:       http.NewServeMux(),
 	}
 	s.observer = opts.Observer
 	if s.observer == nil {
@@ -125,6 +144,8 @@ func New(opts Options) *Server {
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/v1/plan-from-trace", s.handlePlanFromTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -198,21 +219,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, res)
 }
 
-// statusFor maps solver errors to HTTP statuses: validation failures are
-// the caller's fault (400), saturated models are semantically unsolvable
-// (422), expired deadlines are 504, anything else is a 500.
+// statusFor maps solver errors to HTTP statuses: validation failures and
+// malformed or unfittable trace uploads are the caller's fault (400),
+// saturated models and infeasible SLOs are semantically unanswerable (422),
+// expired deadlines are 504, anything else is a 500.
 func statusFor(err error) int {
 	var verr *core.ValidationError
 	switch {
-	case errors.As(err, &verr):
+	case errors.As(err, &verr),
+		errors.Is(err, trace.ErrFormat),
+		errors.Is(err, workload.ErrFitTrace):
 		return http.StatusBadRequest
-	case errors.Is(err, qbd.ErrUnstable):
+	case errors.Is(err, qbd.ErrUnstable), errors.Is(err, plan.ErrInfeasible):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// planResultSize estimates the byte-budget charge of a cached plan: the
+// result struct plus its neighborhood slice.
+func planResultSize(p *plan.Result) int64 {
+	return int64(unsafe.Sizeof(*p)) +
+		int64(len(p.Neighborhood))*int64(unsafe.Sizeof(plan.Neighbor{}))
 }
 
 // reject handles the draining gate; it reports true when the request was
@@ -372,6 +403,262 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	writeJSON(w, http.StatusOK, SweepResponse{Results: results})
+}
+
+// PlanPointResult is the JSON answer for one capacity plan: the
+// /v1/optimize and /v1/plan-from-trace response body. Exactly one of Plan
+// and Error is set; the "plan" object is byte-identical to what
+// `bgperf plan -json` prints for the same request.
+type PlanPointResult struct {
+	// Key is the canonical plan cache key (plan.CacheKey) of the request.
+	Key string `json:"key,omitempty"`
+	// Cached reports that the answer came from the plan cache.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that the request shared another request's search.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Fit summarizes the MMPP(2) fitted from an uploaded trace
+	// (plan-from-trace only).
+	Fit *FitSummary `json:"fit,omitempty"`
+	// Plan is the solved capacity plan.
+	Plan *plan.Result `json:"plan,omitempty"`
+	// Error describes a failed plan.
+	Error *errorBody `json:"error,omitempty"`
+}
+
+// FitSummary describes the arrival process fitted from an uploaded trace.
+type FitSummary struct {
+	// Samples is the number of trace inter-arrivals the fit consumed.
+	Samples int `json:"samples"`
+	// Rate is the fitted process's mean arrival rate (per ms).
+	Rate float64 `json:"rate"`
+	// SCV is the fitted squared coefficient of variation.
+	SCV float64 `json:"scv"`
+	// ACF1 is the fitted lag-1 autocorrelation.
+	ACF1 float64 `json:"acf1"`
+}
+
+// planErrResult wraps err into a PlanPointResult, naming the offending
+// field for validation failures.
+func planErrResult(key string, err error) PlanPointResult {
+	body := errorBody{Message: err.Error()}
+	var verr *core.ValidationError
+	if errors.As(err, &verr) {
+		body.Field = verr.Field
+	}
+	return PlanPointResult{Key: key, Error: &body}
+}
+
+// finishPlanResult stamps the final status code into an error result's body.
+func finishPlanResult(r *PlanPointResult, status int) {
+	if r.Error != nil {
+		r.Error.Code = status
+	}
+}
+
+// planPoint answers one capacity plan through the plan cache → coalescer →
+// inverse-solver pipeline — the planner's mirror of solvePoint. The cache
+// key (plan.CacheKey) covers only result-determining inputs, so the runtime
+// knobs stamped here (workers, observer, context) never fragment it.
+func (s *Server) planPoint(ctx context.Context, cfg core.Config, slo plan.SLO, popts plan.Options) (PlanPointResult, int) {
+	s.stats.Request()
+	popts.Workers = s.workers
+	popts.Observer = s.observer
+	popts.Ctx = ctx
+	key, err := plan.CacheKey(cfg, slo, popts)
+	if err != nil {
+		return planErrResult("", err), statusFor(err)
+	}
+	if p, ok := s.plans.Get(key); ok {
+		s.stats.CacheHit()
+		return PlanPointResult{Key: key, Cached: true, Plan: p}, http.StatusOK
+	}
+	s.stats.CacheMiss()
+	if err := ctx.Err(); err != nil {
+		return planErrResult(key, deadlineErr(err)), http.StatusGatewayTimeout
+	}
+	p, err, coalesced := s.planGroup.Do(ctx, key, func() (*plan.Result, error) {
+		if s.solveBarrier != nil {
+			s.solveBarrier()
+		}
+		// Double-check the cache under leadership, as solvePoint does.
+		if p, ok := s.plans.Get(key); ok {
+			s.stats.CacheHit()
+			return p, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, deadlineErr(err)
+		}
+		s.stats.PlanStart()
+		p, err := plan.Maximize(cfg, slo, popts)
+		s.stats.PlanDone()
+		if err != nil {
+			return nil, err
+		}
+		s.plans.Add(key, p)
+		return p, nil
+	})
+	if coalesced {
+		s.stats.Coalesced()
+	}
+	if err != nil {
+		return planErrResult(key, err), statusFor(err)
+	}
+	return PlanPointResult{Key: key, Coalesced: coalesced, Plan: p}, http.StatusOK
+}
+
+// handleOptimize answers POST /v1/optimize: one capacity plan.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	if s.reject(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	var req OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			core.NewValidationError(core.ErrConfig, "body", "malformed request JSON: %v", err))
+		return
+	}
+	cfg, slo, popts, err := req.PlanInputs()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	res, status := s.planPoint(ctx, cfg, slo, popts)
+	finishPlanResult(&res, status)
+	writeJSON(w, status, res)
+}
+
+// handlePlanFromTrace answers POST /v1/plan-from-trace: the body is a raw
+// NDJSON trace (one {"interarrival": …} object per line), the query string
+// carries the model and plan parameters in the same vocabulary as
+// /v1/optimize. The daemon fits an MMPP(2) to the trace (the paper's
+// Sec. 3.1 ingest-and-fit workflow), installs it as the arrival process,
+// and answers the capacity plan.
+func (s *Server) handlePlanFromTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	if s.reject(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	req, err := planTraceQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	tr, err := trace.ReadNDJSON(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	fitted, err := workload.FromTrace(tr)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	cfg, err := req.SolveRequest.ConfigWithArrival(fitted)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	popts, err := req.planOptions()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	res, status := s.planPoint(ctx, cfg, req.SLO, popts)
+	if res.Error == nil {
+		res.Fit = &FitSummary{
+			Samples: len(tr.Interarrivals),
+			Rate:    fitted.Rate(),
+			SCV:     fitted.SCV(),
+			ACF1:    fitted.ACF(1),
+		}
+	}
+	finishPlanResult(&res, status)
+	writeJSON(w, status, res)
+}
+
+// planTraceQuery maps the /v1/plan-from-trace query string onto an
+// OptimizeRequest (the body is reserved for the trace itself). Unknown
+// parameters are rejected, mirroring DisallowUnknownFields on the JSON
+// endpoints.
+func planTraceQuery(q url.Values) (OptimizeRequest, error) {
+	var req OptimizeRequest
+	getF := func(name string, dst *float64) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return core.NewValidationError(core.ErrConfig, name,
+				"bad numeric parameter %q", v)
+		}
+		*dst = f
+		return nil
+	}
+	known := map[string]bool{
+		"var": true, "qlenFG": true, "waitPFG": true, "respTimeFG": true,
+		"tolerance": true, "maxIter": true, "utilization": true,
+		"bgProb": true, "bgBuffer": true, "idleMult": true, "policy": true,
+		"serviceSCV": true, "idleSCV": true,
+	}
+	for name := range q {
+		if !known[name] {
+			return req, core.NewValidationError(core.ErrConfig, name,
+				"unknown query parameter %q", name)
+		}
+	}
+	req.Var = q.Get("var")
+	req.Policy = q.Get("policy")
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"qlenFG", &req.SLO.QLenFG},
+		{"waitPFG", &req.SLO.WaitPFG},
+		{"respTimeFG", &req.SLO.RespTimeFG},
+		{"tolerance", &req.Tolerance},
+		{"utilization", &req.Utilization},
+		{"bgProb", &req.BGProb},
+		{"idleMult", &req.IdleMult},
+		{"serviceSCV", &req.ServiceSCV},
+		{"idleSCV", &req.IdleSCV},
+	} {
+		if err := getF(p.name, p.dst); err != nil {
+			return req, err
+		}
+	}
+	for _, p := range []struct {
+		name string
+		set  func(int)
+	}{
+		{"maxIter", func(n int) { req.MaxIter = n }},
+		{"bgBuffer", func(n int) { req.BGBuffer = &n }},
+	} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, core.NewValidationError(core.ErrConfig, p.name,
+				"bad integer parameter %q", v)
+		}
+		p.set(n)
+	}
+	return req, nil
 }
 
 // handleHealthz answers GET /healthz: 200 while serving, 503 once draining.

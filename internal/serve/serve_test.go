@@ -30,12 +30,12 @@ func (c *solveCounter) StageDone(s obs.Stage, d time.Duration) {
 		c.mu.Unlock()
 	}
 }
-func (c *solveCounter) RIteration(int, float64)          {}
-func (c *solveCounter) RSolved(int, float64, float64)    {}
+func (c *solveCounter) RIteration(int, float64)           {}
+func (c *solveCounter) RSolved(int, float64, float64)     {}
 func (c *solveCounter) WorkspaceStats(obs.WorkspaceStats) {}
-func (c *solveCounter) SimRun(obs.SimCounters)           {}
-func (c *solveCounter) ReplicationDone(int, int)         {}
-func (c *solveCounter) FitDone(obs.FitDiag)              {}
+func (c *solveCounter) SimRun(obs.SimCounters)            {}
+func (c *solveCounter) ReplicationDone(int, int)          {}
+func (c *solveCounter) FitDone(obs.FitDiag)               {}
 
 func (c *solveCounter) count() int {
 	c.mu.Lock()

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ndjsonRecord is one line of the NDJSON trace interchange format: a JSON
+// object per request with its inter-arrival gap and, optionally, its service
+// time. Pointer fields distinguish absent from zero.
+type ndjsonRecord struct {
+	Interarrival *float64 `json:"interarrival"`
+	Service      *float64 `json:"service,omitempty"`
+}
+
+// WriteNDJSON writes the trace as newline-delimited JSON, one
+// {"interarrival": …, "service": …} object per request ("service" omitted
+// when the trace records none). NDJSON is the upload format of the bgperfd
+// /v1/plan-from-trace endpoint and of `bgperf plan -trace`.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	withService := len(t.Services) > 0
+	if withService && len(t.Services) != len(t.Interarrivals) {
+		return fmt.Errorf("%w: %d services for %d arrivals", ErrFormat, len(t.Services), len(t.Interarrivals))
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, ia := range t.Interarrivals {
+		rec := ndjsonRecord{Interarrival: &ia}
+		if withService {
+			rec.Service = &t.Services[i]
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses a newline-delimited JSON trace: one object per line with
+// a required non-negative finite "interarrival" and an optional "service"
+// (all lines must agree on whether services are present). Blank lines are
+// skipped. Malformed input returns an error wrapping ErrFormat, so callers
+// can distinguish bad uploads from I/O failures.
+func ReadNDJSON(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(trimSpaceBytes(raw)) == 0 {
+			continue
+		}
+		var rec ndjsonRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+		}
+		if rec.Interarrival == nil {
+			return nil, fmt.Errorf("%w: line %d: missing interarrival", ErrFormat, line)
+		}
+		ia := *rec.Interarrival
+		if ia < 0 || math.IsNaN(ia) || math.IsInf(ia, 0) {
+			return nil, fmt.Errorf("%w: line %d: bad interarrival %g", ErrFormat, line, ia)
+		}
+		if rec.Service != nil {
+			sv := *rec.Service
+			if sv < 0 || math.IsNaN(sv) || math.IsInf(sv, 0) {
+				return nil, fmt.Errorf("%w: line %d: bad service %g", ErrFormat, line, sv)
+			}
+			if len(t.Services) != len(t.Interarrivals) {
+				return nil, fmt.Errorf("%w: line %d: service field appears mid-trace", ErrFormat, line)
+			}
+			t.Services = append(t.Services, sv)
+		} else if len(t.Services) > 0 {
+			return nil, fmt.Errorf("%w: line %d: service field disappears mid-trace", ErrFormat, line)
+		}
+		t.Interarrivals = append(t.Interarrivals, ia)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Interarrivals) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	return t, nil
+}
+
+// trimSpaceBytes reports the line with ASCII whitespace trimmed, without
+// allocating.
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}

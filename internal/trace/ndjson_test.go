@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"bgperf/internal/arrival"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	m, err := arrival.Poisson(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := GenerateWithService(m, 200, 7, 1)
+	var buf bytes.Buffer
+	if err := orig.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Interarrivals) != len(orig.Interarrivals) || len(got.Services) != len(orig.Services) {
+		t.Fatalf("length mismatch: %d/%d vs %d/%d",
+			len(got.Interarrivals), len(got.Services), len(orig.Interarrivals), len(orig.Services))
+	}
+	for i := range orig.Interarrivals {
+		if got.Interarrivals[i] != orig.Interarrivals[i] || got.Services[i] != orig.Services[i] {
+			t.Fatalf("row %d drifted through the round trip", i)
+		}
+	}
+}
+
+func TestNDJSONRoundTripNoService(t *testing.T) {
+	m, err := arrival.Poisson(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Generate(m, 50, 3)
+	var buf bytes.Buffer
+	if err := orig.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("service")) {
+		t.Fatal("service field must be omitted when unrecorded")
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Interarrivals) != 50 || len(got.Services) != 0 {
+		t.Fatalf("unexpected shape: %d arrivals, %d services", len(got.Interarrivals), len(got.Services))
+	}
+}
+
+func TestNDJSONMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"not json", "hello\n"},
+		{"missing interarrival", `{"service": 1}` + "\n"},
+		{"negative", `{"interarrival": -1}` + "\n"},
+		{"nan-ish string", `{"interarrival": "x"}` + "\n"},
+		{"service appears mid-trace", `{"interarrival": 1}` + "\n" + `{"interarrival": 1, "service": 2}` + "\n"},
+		{"service disappears mid-trace", `{"interarrival": 1, "service": 2}` + "\n" + `{"interarrival": 1}` + "\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadNDJSON(strings.NewReader(c.in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: want ErrFormat, got %v", c.name, err)
+		}
+	}
+}
+
+func TestNDJSONSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"interarrival": 1.5}` + "\n\n  \n" + `{"interarrival": 2.5}` + "\n"
+	got, err := ReadNDJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Interarrivals) != 2 || got.Interarrivals[0] != 1.5 || got.Interarrivals[1] != 2.5 {
+		t.Fatalf("unexpected parse: %+v", got.Interarrivals)
+	}
+}

@@ -3,9 +3,11 @@ package bgperf
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"bgperf/internal/core"
 	"bgperf/internal/obs"
+	"bgperf/internal/plan"
 	"bgperf/internal/qbd"
 	"bgperf/internal/sim"
 )
@@ -46,6 +48,9 @@ type callOpts struct {
 	workers  int
 	reps     int
 	scheme   RScheme
+	planVar  plan.Var
+	tol      float64
+	maxIter  int
 
 	// err defers option-argument validation to the call site, so invalid
 	// options surface as ordinary errors rather than panics.
@@ -112,6 +117,66 @@ func WithRScheme(s RScheme) Option {
 // tuning bundles the resolved solver knobs for the analytic entry points.
 func (c callOpts) tuning() qbd.Tuning {
 	return qbd.Tuning{Scheme: c.scheme, Workers: c.workers}
+}
+
+// planOptions bundles the resolved knobs for the inverse-solver entry points
+// (Plan, PlanFromTrace, PlanCacheKey). Zero values pass through: the plan
+// package is the single defaulting point, so the facade, the CLI, and the
+// daemon resolve (and cache-key) identically.
+func (c callOpts) planOptions() plan.Options {
+	return plan.Options{
+		Var:      c.planVar,
+		Tol:      c.tol,
+		MaxIter:  c.maxIter,
+		Workers:  c.workers,
+		Scheme:   c.scheme,
+		Observer: c.observer,
+		Ctx:      c.ctx,
+	}
+}
+
+// WithPlanVar selects the decision variable of the inverse-solver entry
+// points (Plan, PlanFromTrace): PlanBGProb (the default), PlanBGBuffer, or
+// PlanIdleRate. Forward entry points accept and ignore it.
+func WithPlanVar(v PlanVar) Option {
+	return func(c *callOpts) {
+		switch v {
+		case plan.VarBGProb, plan.VarBGBuffer, plan.VarIdleRate:
+			c.planVar = v
+		default:
+			c.err = core.NewValidationError(core.ErrConfig, "PlanVar",
+				"unknown decision variable %d (want PlanBGProb | PlanBGBuffer | PlanIdleRate)", int(v))
+		}
+	}
+}
+
+// WithTolerance sets the convergence tolerance of the continuous inverse
+// searches (default plan.DefaultTol = 1e-4: absolute on p, multiplicative on
+// the idle rate). Non-positive or non-finite tolerances yield a
+// ValidationError from the call. Forward entry points accept and ignore it.
+func WithTolerance(tol float64) Option {
+	return func(c *callOpts) {
+		if !(tol > 0) || math.IsInf(tol, 0) {
+			c.err = core.NewValidationError(core.ErrConfig, "Tolerance",
+				"tolerance %g must be positive and finite", tol)
+			return
+		}
+		c.tol = tol
+	}
+}
+
+// WithMaxIter bounds the bisection iterations of the inverse searches
+// (default 64). n < 1 yields a ValidationError from the call. Forward entry
+// points accept and ignore it.
+func WithMaxIter(n int) Option {
+	return func(c *callOpts) {
+		if n < 1 {
+			c.err = core.NewValidationError(core.ErrConfig, "MaxIter",
+				"need at least 1 iteration, got %d", n)
+			return
+		}
+		c.maxIter = n
+	}
 }
 
 // WithReplications sets the number of independent simulation replications

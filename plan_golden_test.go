@@ -1,0 +1,129 @@
+package bgperf_test
+
+// The plan-report golden pins the package's complete capacity-planning
+// workflow end to end: testdata/plan_trace.ndjson (2000 requests sampled
+// from the paper's e-mail MMPP, seed 1) is parsed, fitted to an MMPP(2),
+// and planned against a foreground SLO; the resulting report must match
+// testdata/plan_report.golden with every number reproduced to 1e-9. The
+// tolerance absorbs floating-point variation across architectures while
+// still catching any change to the fit, the solver, or the search.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestPlanFromTraceGolden -update .
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"bgperf"
+)
+
+const (
+	planTracePath  = "testdata/plan_trace.ndjson"
+	planGoldenPath = "testdata/plan_report.golden"
+	planGoldenTol  = 1e-9
+)
+
+// planGoldenReport runs the pinned workflow: ingest → fit → plan.
+func planGoldenReport(t *testing.T) *bgperf.PlanResult {
+	t.Helper()
+	f, err := os.Open(planTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := bgperf.ReadTraceNDJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bgperf.Config{
+		ServiceRate: bgperf.ServiceRatePerMs,
+		BGBuffer:    5,
+		IdleRate:    bgperf.ServiceRatePerMs,
+	}
+	res, err := bgperf.PlanFromTrace(tr, cfg, bgperf.SLO{WaitPFG: 8e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPlanFromTraceGolden(t *testing.T) {
+	res := planGoldenReport(t)
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *updateGolden {
+		if err := os.WriteFile(planGoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", planGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(planGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestPlanFromTraceGolden -update .`): %v", err)
+	}
+	var gotV, wantV any
+	if err := json.Unmarshal(got, &gotV); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", planGoldenPath, err)
+	}
+	if diff := jsonDiff("plan", wantV, gotV, planGoldenTol); diff != "" {
+		t.Errorf("plan report deviates from %s beyond %g; if intentional, run `go test -run TestPlanFromTraceGolden -update .` and review the diff\n%s",
+			planGoldenPath, planGoldenTol, diff)
+	}
+}
+
+// jsonDiff structurally compares two unmarshalled JSON values, allowing
+// numbers to differ by at most tol, and returns a description of the first
+// few mismatches ("" when equal).
+func jsonDiff(path string, want, got any, tol float64) string {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Sprintf("%s: want object, got %T\n", path, got)
+		}
+		if len(w) != len(g) {
+			return fmt.Sprintf("%s: want %d keys, got %d\n", path, len(w), len(g))
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Sprintf("%s.%s: missing\n", path, k)
+			}
+			if d := jsonDiff(path+"."+k, wv, gv, tol); d != "" {
+				return d
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(w) != len(g) {
+			return fmt.Sprintf("%s: array shape differs (want %d elements)\n", path, len(w))
+		}
+		for i := range w {
+			if d := jsonDiff(fmt.Sprintf("%s[%d]", path, i), w[i], g[i], tol); d != "" {
+				return d
+			}
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok || math.Abs(g-w) > tol || math.IsNaN(g) != math.IsNaN(w) {
+			return fmt.Sprintf("%s: want %.17g, got %v\n", path, w, got)
+		}
+	default:
+		if want != got {
+			return fmt.Sprintf("%s: want %v, got %v\n", path, want, got)
+		}
+	}
+	return ""
+}

@@ -12,11 +12,13 @@ import (
 
 // TestExportedIdentifiersDocumented enforces the documentation contract on
 // the public surface: every exported identifier in the root package, in
-// internal/serve (the daemon's serving layer), and in internal/plan (the
-// inverse solver behind Plan and /v1/optimize) carries a doc comment. The
-// API reference in docs/ and `go doc` both depend on this.
+// internal/serve (the daemon's serving layer), in internal/plan (the
+// inverse solver behind Plan and /v1/optimize), in internal/cas (the
+// persistent cache tier), and in internal/cluster (the peer ring) carries
+// a doc comment. The API reference in docs/ and `go doc` both depend on
+// this.
 func TestExportedIdentifiersDocumented(t *testing.T) {
-	for _, dir := range []string{".", "internal/serve", "internal/plan"} {
+	for _, dir := range []string{".", "internal/serve", "internal/plan", "internal/cas", "internal/cluster"} {
 		undocumented := missingDocs(t, dir)
 		for _, id := range undocumented {
 			t.Errorf("%s: exported identifier %s has no doc comment", dir, id)

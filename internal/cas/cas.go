@@ -1,0 +1,455 @@
+// Package cas implements the disk tier of the bgperfd solve cache: a
+// persistent, content-addressed store of solved results keyed by the
+// canonical configuration hash (core.CacheKey). It is the layer that lets
+// solves survive daemon restarts — the in-memory LRU in internal/serve
+// answers the hot set, and everything it has ever solved is also written
+// here, so a restarted daemon re-solves nothing it has already answered.
+//
+// Layout and durability contract:
+//
+//   - one file per key at <dir>/objects/<key[:2]>/<key>, sharded on the
+//     first key byte so no directory grows past ~1/256 of the store;
+//   - every file carries a versioned envelope (magic, format version,
+//     payload length, SHA-256 payload checksum) and is verified on read —
+//     a mismatch quarantines the file instead of returning bad bytes;
+//   - writes are atomic: payloads land in a temp file in the same shard
+//     directory, are synced, then renamed over the final name, so a crash
+//     mid-write leaves either the old entry or a stray temp file, never a
+//     half-written entry under a valid name;
+//   - Open scans the tree: stray temp files are deleted, structurally
+//     invalid entries (bad name, bad envelope, truncation) are moved to
+//     <dir>/quarantine, and the byte accounting for GC is rebuilt;
+//   - the store is size-bounded: once the configured byte budget is
+//     exceeded, the oldest entries (by modification time, refreshed on
+//     read, so eviction approximates LRU) are deleted until the store is
+//     back under its low-water mark.
+//
+// The store is concurrency-safe within one process. It deliberately does
+// not coordinate across processes: each bgperfd owns its cache directory
+// (see docs/OPERATIONS.md).
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"bgperf/internal/core"
+)
+
+// On-disk envelope constants. The envelope is:
+//
+//	offset 0  magic   "BGCS" (4 bytes)
+//	offset 4  version uint32 little-endian
+//	offset 8  length  uint64 little-endian (payload bytes)
+//	offset 16 sha256  32 bytes (checksum of the payload)
+//	offset 48 payload
+const (
+	// Version is the current envelope format version. Readers reject (and
+	// quarantine) any other version, so a future format change can never be
+	// misparsed as v1.
+	Version = 1
+	// headerSize is the fixed envelope size before the payload.
+	headerSize = 48
+	// magic marks every entry file; anything else is quarantined on sight.
+	magic = "BGCS"
+)
+
+// MaxPayload bounds one entry's payload. Solved metrics marshal to a few
+// hundred bytes; the megabyte bound exists purely so a corrupted length
+// field cannot make the reader allocate unbounded memory.
+const MaxPayload = 1 << 20
+
+// DefaultMaxBytes is the default byte budget of a store (256 MiB — roughly
+// half a million solved points at typical payload sizes).
+const DefaultMaxBytes int64 = 256 << 20
+
+// gcLowWater is the fraction of the byte budget GC shrinks to once the
+// budget is exceeded, so evictions run in batches instead of one per Put.
+const gcLowWater = 0.9
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("cas: store is closed")
+
+// Options configures a Store. The zero value takes every default.
+type Options struct {
+	// MaxBytes bounds the total payload+envelope bytes kept on disk; 0
+	// means DefaultMaxBytes, negative removes the bound.
+	MaxBytes int64
+}
+
+// Stats is a snapshot of a store's counters and occupancy.
+type Stats struct {
+	// Entries is the number of valid entries currently on disk.
+	Entries int `json:"entries"`
+	// Bytes is the total on-disk size (envelopes included) of those entries.
+	Bytes int64 `json:"bytes"`
+	// Hits counts Gets answered from disk with a verified payload.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that found no entry.
+	Misses int64 `json:"misses"`
+	// Writes counts successful Puts.
+	Writes int64 `json:"writes"`
+	// Quarantined counts entries moved aside for failing verification —
+	// at Open (structural damage) or on Get (checksum mismatch).
+	Quarantined int64 `json:"quarantined"`
+	// GCEvictions counts entries deleted by the size-bounded GC.
+	GCEvictions int64 `json:"gcEvictions"`
+	// RepairedTemp counts stray temp files deleted by the Open scan —
+	// evidence of a crash mid-write that the rename protocol contained.
+	RepairedTemp int64 `json:"repairedTemp"`
+}
+
+// entry is the in-memory index record for one on-disk file.
+type entry struct {
+	size  int64
+	mtime time.Time
+}
+
+// Store is a persistent content-addressed cache. Create one with Open.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex
+	closed   bool
+	index    map[string]entry
+	bytes    int64
+	hits     int64
+	misses   int64
+	writes   int64
+	quarant  int64
+	gcEvict  int64
+	repaired int64
+}
+
+// Open creates (if needed) and scans the store rooted at dir, repairing
+// crash leftovers: stray temp files are removed, files that fail the
+// structural envelope check are quarantined, and the GC byte accounting is
+// rebuilt from what survives. Payload checksums are deliberately not
+// verified here — that would read every byte of a possibly huge cache at
+// startup; they are verified on every Get instead.
+func Open(dir string, opts Options) (*Store, error) {
+	maxBytes := opts.MaxBytes
+	switch {
+	case maxBytes == 0:
+		maxBytes = DefaultMaxBytes
+	case maxBytes < 0:
+		maxBytes = 0 // unbounded
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		index:    make(map[string]entry),
+	}
+	for _, d := range []string{s.objectsDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("cas: create %s: %w", d, err)
+		}
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// objectsDir is the root of the sharded entry tree.
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+
+// quarantineDir holds entries that failed verification, kept for operator
+// inspection; the store never reads them again.
+func (s *Store) quarantineDir() string { return filepath.Join(s.dir, "quarantine") }
+
+// path returns the entry file for a (pre-validated) key.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.objectsDir(), key[:2], key)
+}
+
+// scan walks the object tree rebuilding the index: temp files from
+// interrupted writes are deleted, structurally bad entries quarantined.
+func (s *Store) scan() error {
+	return filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if !core.ValidCacheKey(name) {
+			// Either a temp file from an interrupted write (key + ".tmp…")
+			// or junk that has no business in the tree. Temp files are the
+			// expected crash residue: count them separately.
+			if os.Remove(path) == nil {
+				s.mu.Lock()
+				s.repaired++
+				s.mu.Unlock()
+			}
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with removal; nothing to index
+		}
+		if !s.structurallyValid(path, info.Size()) {
+			s.quarantine(name, path)
+			return nil
+		}
+		s.mu.Lock()
+		s.index[name] = entry{size: info.Size(), mtime: info.ModTime()}
+		s.bytes += info.Size()
+		s.mu.Unlock()
+		return nil
+	})
+}
+
+// structurallyValid checks the envelope header against the file size
+// without reading the payload: magic, version, and the recorded payload
+// length must match exactly what is on disk.
+func (s *Store) structurallyValid(path string, size int64) bool {
+	if size < headerSize {
+		return false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return false
+	}
+	if string(hdr[:4]) != magic {
+		return false
+	}
+	if binary.LittleEndian.Uint32(hdr[4:8]) != Version {
+		return false
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	return n <= MaxPayload && size == headerSize+int64(n)
+}
+
+// quarantine moves a damaged file out of the object tree, uniquified by a
+// timestamp so repeated damage to the same key never collides.
+func (s *Store) quarantine(name, path string) {
+	dst := filepath.Join(s.quarantineDir(),
+		fmt.Sprintf("%s.%d.corrupt", name, time.Now().UnixNano()))
+	if os.Rename(path, dst) != nil {
+		os.Remove(path) // rename failed (cross-device?): drop it instead
+	}
+	s.mu.Lock()
+	s.quarant++
+	s.mu.Unlock()
+}
+
+// Get returns the verified payload stored under key. A checksum or
+// envelope mismatch quarantines the entry and reports a miss — callers
+// re-solve, they never see damaged bytes. A hit refreshes the entry's
+// modification time so the size-bounded GC approximates LRU.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil || !core.ValidCacheKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e, ok := s.index[key]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	path := s.path(key)
+	payload, err := readVerified(path)
+	if err != nil {
+		// Damaged on disk: quarantine under the lock-held accounting, then
+		// report a miss.
+		delete(s.index, key)
+		s.bytes -= e.size
+		s.misses++
+		s.mu.Unlock()
+		s.quarantine(key, path)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort recency for GC ordering
+	e.mtime = now
+	s.index[key] = e
+	s.hits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+// readVerified reads one entry file and verifies magic, version, length,
+// and payload checksum.
+func readVerified(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerSize {
+		return nil, fmt.Errorf("cas: entry truncated below header (%d bytes)", len(raw))
+	}
+	if string(raw[:4]) != magic {
+		return nil, errors.New("cas: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != Version {
+		return nil, fmt.Errorf("cas: unsupported envelope version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	if n > MaxPayload || int64(len(raw)) != headerSize+int64(n) {
+		return nil, fmt.Errorf("cas: length field %d does not match file size %d", n, len(raw))
+	}
+	payload := raw[headerSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(raw[16:48]) {
+		return nil, errors.New("cas: payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Put stores payload under key, atomically: the envelope is written to a
+// temp file in the final shard directory, synced, and renamed into place.
+// Re-putting an existing key rewrites it (values for a key are bit-identical
+// by the solver's determinism, so this only refreshes the file). Once the
+// byte budget is exceeded, oldest entries are evicted until the store is
+// back under its low-water mark.
+func (s *Store) Put(key string, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if !core.ValidCacheKey(key) {
+		return fmt.Errorf("cas: invalid cache key %q", key)
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("cas: payload of %d bytes exceeds the %d-byte bound", len(payload), MaxPayload)
+	}
+	env := make([]byte, headerSize+len(payload))
+	copy(env[:4], magic)
+	binary.LittleEndian.PutUint32(env[4:8], Version)
+	binary.LittleEndian.PutUint64(env[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(env[16:48], sum[:])
+	copy(env[headerSize:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	path := s.path(key)
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("cas: create shard: %w", err)
+	}
+	// The temp name starts with the key and a ".tmp" marker, so the Open
+	// scan recognizes (and removes) crash leftovers by shape.
+	f, err := os.CreateTemp(shard, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cas: create temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(env); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cas: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cas: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cas: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cas: rename into place: %w", err)
+	}
+	if old, ok := s.index[key]; ok {
+		s.bytes -= old.size
+	}
+	s.index[key] = entry{size: int64(len(env)), mtime: time.Now()}
+	s.bytes += int64(len(env))
+	s.writes++
+	s.gcLocked()
+	return nil
+}
+
+// gcLocked evicts oldest-first until the store is under the low-water
+// fraction of its byte budget; callers hold s.mu.
+func (s *Store) gcLocked() {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type aged struct {
+		key string
+		entry
+	}
+	all := make([]aged, 0, len(s.index))
+	for k, e := range s.index {
+		all = append(all, aged{k, e})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	target := int64(gcLowWater * float64(s.maxBytes))
+	for _, a := range all {
+		if s.bytes <= target || len(s.index) <= 1 {
+			break
+		}
+		if err := os.Remove(s.path(a.key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		delete(s.index, a.key)
+		s.bytes -= a.size
+		s.gcEvict++
+	}
+}
+
+// Len returns the number of valid entries currently indexed.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:      len(s.index),
+		Bytes:        s.bytes,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Writes:       s.writes,
+		Quarantined:  s.quarant,
+		GCEvictions:  s.gcEvict,
+		RepairedTemp: s.repaired,
+	}
+}
+
+// Close marks the store closed; subsequent Puts fail with ErrClosed and
+// Gets miss. Close never deletes data — the directory is the durable
+// artifact a restarted daemon reopens.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,272 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testKey derives a deterministic valid cache key from a seed string.
+func testKey(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := testKey("point-1")
+	payload := []byte(`{"qlenFG":1.25}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	if _, ok := s.Get(testKey("never-stored")); ok {
+		t.Fatal("Get of an absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 1 entry / 1 hit / 1 miss / 1 write", st)
+	}
+	if st.Bytes != headerSize+int64(len(payload)) {
+		t.Fatalf("bytes = %d, want envelope %d + payload %d", st.Bytes, headerSize, len(payload))
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, key := range []string{"", "short", "../../../../etc/passwd", strings.Repeat("A", 64)} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit on an invalid key", key)
+		}
+	}
+}
+
+// TestReopenSurvivesRestart pins the tentpole durability contract: a new
+// Store over the same directory serves every entry the old one wrote.
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(fmt.Sprint(i)), []byte(fmt.Sprintf(`{"point":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	re := mustOpen(t, dir, Options{})
+	if re.Len() != n {
+		t.Fatalf("reopened store indexed %d entries, want %d", re.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := re.Get(testKey(fmt.Sprint(i)))
+		if !ok || string(got) != fmt.Sprintf(`{"point":%d}`, i) {
+			t.Fatalf("entry %d lost across reopen: %q %v", i, got, ok)
+		}
+	}
+	if st := re.Stats(); st.Quarantined != 0 || st.RepairedTemp != 0 {
+		t.Fatalf("clean reopen reported repairs: %+v", st)
+	}
+}
+
+// TestCrashRecovery simulates a kill mid-write: a stray temp file and a
+// truncated entry are both left in the tree. Open must delete the temp
+// file, quarantine the truncated entry, and leave the healthy entry
+// readable.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	goodKey := testKey("survivor")
+	if err := s.Put(goodKey, []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	deadKey := testKey("victim")
+	if err := s.Put(deadKey, []byte("about to be truncated")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Crash residue 1: a temp file abandoned mid-write.
+	shard := filepath.Join(dir, "objects", goodKey[:2])
+	tmp := filepath.Join(shard, goodKey+".tmp123456")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash residue 2: an entry truncated below its recorded length (as if
+	// the filesystem lost the tail of a non-atomic write).
+	deadPath := filepath.Join(dir, "objects", deadKey[:2], deadKey)
+	if err := os.Truncate(deadPath, headerSize+3); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived the reopen scan")
+	}
+	if got, ok := re.Get(goodKey); !ok || string(got) != "good payload" {
+		t.Fatalf("healthy entry damaged by recovery: %q %v", got, ok)
+	}
+	if _, ok := re.Get(deadKey); ok {
+		t.Fatal("truncated entry still readable")
+	}
+	st := re.Stats()
+	if st.RepairedTemp != 1 {
+		t.Fatalf("repairedTemp = %d, want 1", st.RepairedTemp)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	quarantined, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v; want exactly 1", len(quarantined), err)
+	}
+	if !strings.HasPrefix(quarantined[0].Name(), deadKey) {
+		t.Fatalf("quarantined file %q does not name the damaged key", quarantined[0].Name())
+	}
+}
+
+// TestCorruptedEntryQuarantine flips payload bytes behind the store's back:
+// the checksum catches it on Get, the entry is quarantined, and the caller
+// sees a clean miss — never the damaged bytes.
+func TestCorruptedEntryQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := testKey("bitrot")
+	if err := s.Put(key, []byte("pristine payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize] ^= 0xFF // flip one payload byte; length stays right
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupted entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupted entry still in the object tree")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after quarantine: %+v, want 1 quarantined, empty store", st)
+	}
+	// The key is re-writable after quarantine — the slot is clean again.
+	if err := s.Put(key, []byte("fresh solve")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "fresh solve" {
+		t.Fatalf("re-put after quarantine failed: %q %v", got, ok)
+	}
+}
+
+// TestGCBoundsBytes fills past the byte budget and checks oldest-first
+// eviction down to the low-water mark, with recently-read entries retained.
+func TestGCBoundsBytes(t *testing.T) {
+	// Budget for ~8 entries of (header + 52)-byte envelopes.
+	payload := bytes.Repeat([]byte("x"), 52)
+	entrySize := int64(headerSize + len(payload))
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 8 * entrySize})
+	for i := 0; i < 32; i++ {
+		if err := s.Put(testKey(fmt.Sprint(i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > 8*entrySize {
+		t.Fatalf("GC left %d bytes, budget %d", st.Bytes, 8*entrySize)
+	}
+	if st.GCEvictions == 0 {
+		t.Fatal("no GC evictions recorded")
+	}
+	if st.Entries+int(st.GCEvictions) != 32 {
+		t.Fatalf("entries %d + evictions %d != 32 puts", st.Entries, st.GCEvictions)
+	}
+	// The newest entry must have survived oldest-first eviction.
+	if _, ok := s.Get(testKey("31")); !ok {
+		t.Fatal("newest entry evicted by oldest-first GC")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	var wg sync.WaitGroup
+	const workers, per = 8, 40
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := testKey(fmt.Sprintf("%d-%d", w, i))
+				payload := []byte(fmt.Sprintf("w%d i%d", w, i))
+				if err := s.Put(key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok := s.Get(key)
+				if !ok || !bytes.Equal(got, payload) {
+					t.Errorf("read own write failed for %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*per {
+		t.Fatalf("entries = %d, want %d", s.Len(), workers*per)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := testKey("closing time")
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put(key, []byte("y")); err != ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get after Close reported a hit")
+	}
+}
+
+func TestNilStoreSafe(t *testing.T) {
+	var s *Store
+	if err := s.Put(testKey("nil"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey("nil")); ok {
+		t.Fatal("nil store hit")
+	}
+	if s.Len() != 0 || s.Stats() != (Stats{}) || s.Close() != nil {
+		t.Fatal("nil store accessors not zero-valued")
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults; see NewBreaker.
+const (
+	// DefaultFailThreshold is the consecutive-failure count that opens a
+	// breaker.
+	DefaultFailThreshold = 3
+	// DefaultBaseBackoff is the open duration after the first trip; each
+	// consecutive trip doubles it.
+	DefaultBaseBackoff = 500 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential open duration.
+	DefaultMaxBackoff = 10 * time.Second
+)
+
+// Breaker is a per-peer circuit breaker. Closed, it admits every call.
+// After FailThreshold consecutive failures it opens: calls are refused
+// without touching the network until the backoff expires, then exactly one
+// probe is admitted (half-open). A successful probe closes the breaker and
+// resets the backoff; a failed one reopens it for twice as long, up to
+// MaxBackoff. All methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	failures  int       // consecutive failures since the last success
+	trips     int       // consecutive opens since the last success
+	openUntil time.Time // zero when closed
+	probing   bool      // a half-open probe is in flight
+	threshold int
+	base      time.Duration
+	max       time.Duration
+	now       func() time.Time // injected clock for tests
+}
+
+// NewBreaker returns a closed breaker with the default thresholds.
+func NewBreaker() *Breaker {
+	return &Breaker{
+		threshold: DefaultFailThreshold,
+		base:      DefaultBaseBackoff,
+		max:       DefaultMaxBackoff,
+		now:       time.Now,
+	}
+}
+
+// Allow reports whether a call may proceed, consuming the half-open probe
+// slot when the backoff has expired. Callers that proceed must report the
+// outcome through Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	// Backoff expired: admit one probe at a time.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Blocked reports whether the breaker is currently refusing calls, without
+// consuming the probe slot. Membership routing uses it to steer keys away
+// from a tripped peer before attempting a forward.
+func (b *Breaker) Blocked() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && b.now().Before(b.openUntil)
+}
+
+// Success records a successful call, closing the breaker and resetting the
+// consecutive-failure count and backoff.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.trips = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+// Failure records a failed call; at the threshold the breaker opens with
+// exponential backoff (doubling per consecutive trip, capped at max).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if !b.openUntil.IsZero() && !b.now().Before(b.openUntil) {
+		// A failed half-open probe: reopen immediately, doubled.
+		b.trip()
+		return
+	}
+	if b.failures >= b.threshold && b.openUntil.IsZero() {
+		b.trip()
+	}
+}
+
+// trip opens the breaker for the current backoff; callers hold b.mu.
+func (b *Breaker) trip() {
+	d := b.base << b.trips
+	if d > b.max || d <= 0 {
+		d = b.max
+	}
+	b.trips++
+	b.openUntil = b.now().Add(d)
+	b.failures = 0
+}

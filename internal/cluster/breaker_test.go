@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an adjustable clock injected into breakers under test.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker() (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b := NewBreaker()
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker()
+	for i := 0; i < DefaultFailThreshold-1; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker refused before threshold (failure %d)", i)
+		}
+		b.Failure()
+	}
+	if b.Blocked() {
+		t.Fatal("breaker open below threshold")
+	}
+	b.Failure() // threshold-th consecutive failure trips it
+	if !b.Blocked() || b.Allow() {
+		t.Fatal("breaker still admitting calls after threshold failures")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < DefaultFailThreshold; i++ {
+		b.Failure()
+	}
+	clk.advance(DefaultBaseBackoff + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("backoff expired but probe refused")
+	}
+	// Only one probe at a time: a second concurrent call is refused.
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.Success()
+	if !b.Allow() || b.Blocked() {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+}
+
+func TestBreakerExponentialBackoff(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < DefaultFailThreshold; i++ {
+		b.Failure()
+	}
+	// First open: base backoff. Just before expiry it still refuses.
+	clk.advance(DefaultBaseBackoff - time.Millisecond)
+	if b.Allow() {
+		t.Fatal("admitted before the first backoff expired")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused after first backoff")
+	}
+	b.Failure() // failed probe: reopen for 2× base
+	clk.advance(DefaultBaseBackoff + time.Millisecond)
+	if b.Allow() {
+		t.Fatal("doubled backoff not applied after failed probe")
+	}
+	clk.advance(DefaultBaseBackoff) // now past 2× base total
+	if !b.Allow() {
+		t.Fatal("probe refused after doubled backoff expired")
+	}
+	b.Success()
+	// Success resets the backoff ladder: the next trip is base again.
+	for i := 0; i < DefaultFailThreshold; i++ {
+		b.Failure()
+	}
+	clk.advance(DefaultBaseBackoff + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("backoff ladder not reset by success")
+	}
+}
+
+func TestBreakerBackoffCap(t *testing.T) {
+	b, clk := newTestBreaker()
+	// Trip and fail the probe many times; the open window must never
+	// exceed DefaultMaxBackoff.
+	for i := 0; i < DefaultFailThreshold; i++ {
+		b.Failure()
+	}
+	for trip := 0; trip < 12; trip++ {
+		clk.advance(DefaultMaxBackoff + time.Millisecond)
+		if !b.Allow() {
+			t.Fatalf("trip %d: probe refused past the backoff cap", trip)
+		}
+		b.Failure()
+	}
+	clk.advance(DefaultMaxBackoff + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("open window exceeded DefaultMaxBackoff")
+	}
+}

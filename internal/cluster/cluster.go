@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Forwarding and membership defaults; see Config.
+const (
+	// DefaultHealthInterval is the period between /healthz probes per peer.
+	DefaultHealthInterval = 2 * time.Second
+	// DefaultHealthTimeout bounds one health probe.
+	DefaultHealthTimeout = 1 * time.Second
+	// DefaultForwardRetries is how many times a forward is retried (after
+	// the first attempt) before the caller falls back to a local solve.
+	DefaultForwardRetries = 1
+	// DefaultRetryBackoff is the pause between forward retries.
+	DefaultRetryBackoff = 50 * time.Millisecond
+	// maxForwardBody bounds a forwarded response body read from a peer.
+	maxForwardBody = 8 << 20
+)
+
+// ErrPeerUnavailable is returned by Forward when the target peer is
+// refusing calls (breaker open) or every attempt failed; the caller should
+// degrade to answering locally.
+var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
+
+// Config configures a Cluster. Self and Peers are required.
+type Config struct {
+	// Self is this process's own advertised address (host:port), and must
+	// appear in Peers; keys the ring assigns to Self are solved locally.
+	Self string
+	// Peers is the static cluster membership, every bgperfd's host:port
+	// including Self. All peers must share the same list (order-insensitive)
+	// or they will compute different rings.
+	Peers []string
+	// VirtualNodes is the ring's virtual-node count per peer; <= 0 means
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// HealthInterval is the membership probe period; 0 means
+	// DefaultHealthInterval, negative disables background probing (peers
+	// stay up unless the breaker trips — used by tests).
+	HealthInterval time.Duration
+	// Client is the HTTP client for forwards and probes; nil means a
+	// dedicated client with sane timeouts.
+	Client *http.Client
+}
+
+// peerState is the live view of one remote peer.
+type peerState struct {
+	up      bool
+	breaker *Breaker
+}
+
+// PeerStatus is one row of the membership snapshot served at /clusterz.
+type PeerStatus struct {
+	// Addr is the peer's advertised host:port.
+	Addr string `json:"addr"`
+	// Self marks this process's own row.
+	Self bool `json:"self,omitempty"`
+	// Up reports the last health-probe verdict (always true for Self).
+	Up bool `json:"up"`
+	// BreakerOpen reports that the peer's circuit breaker is refusing
+	// forwards right now.
+	BreakerOpen bool `json:"breakerOpen,omitempty"`
+}
+
+// Cluster is the membership + routing half of cluster mode: it owns the
+// ring, the per-peer health state and breakers, and the forwarding client.
+// Create one with New, start probing with Start, and stop it with Close.
+type Cluster struct {
+	self   string
+	ring   *Ring
+	client *http.Client
+
+	mu    sync.Mutex
+	state map[string]*peerState
+
+	interval time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New validates cfg and builds the cluster routing state. Peers start out
+// optimistically up; the first health sweep corrects that within one
+// interval, and the breaker contains the damage meanwhile.
+func New(cfg Config) (*Cluster, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, p := range ring.Peers() {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, cfg.Peers)
+	}
+	interval := cfg.HealthInterval
+	if interval == 0 {
+		interval = DefaultHealthInterval
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Cluster{
+		self:     cfg.Self,
+		ring:     ring,
+		client:   client,
+		state:    make(map[string]*peerState),
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+	for _, p := range ring.Peers() {
+		if p != cfg.Self {
+			c.state[p] = &peerState{up: true, breaker: NewBreaker()}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this process's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// Start launches the background health prober. A negative configured
+// interval disables it (tests drive CheckHealth directly).
+func (c *Cluster) Start() {
+	if c.interval < 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				c.CheckHealth(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health prober. It never touches in-flight forwards.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// CheckHealth probes every remote peer's /healthz once and updates the
+// up/down state: any 200 marks the peer up, anything else (including a
+// draining peer's 503) marks it down so the ring routes around it.
+func (c *Cluster) CheckHealth(ctx context.Context) {
+	c.mu.Lock()
+	peers := make([]string, 0, len(c.state))
+	for p := range c.state {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+	for _, p := range peers {
+		up := c.probe(ctx, p)
+		c.mu.Lock()
+		if st, ok := c.state[p]; ok {
+			st.up = up
+		}
+		c.mu.Unlock()
+	}
+}
+
+// probe performs one bounded health check against peer.
+func (c *Cluster) probe(ctx context.Context, peer string) bool {
+	ctx, cancel := context.WithTimeout(ctx, DefaultHealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// available reports whether peer should receive forwards right now: last
+// probe said up, and its breaker is not refusing calls.
+func (c *Cluster) available(peer string) bool {
+	if peer == c.self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.state[peer]
+	return ok && st.up && !st.breaker.Blocked()
+}
+
+// Owner routes key to its owning available peer. local is true when this
+// process should answer the key itself — either because it owns it, or
+// because no other peer is available (the degrade-don't-fail rule: a dead
+// worker's share of the key space is served by whoever is asked).
+func (c *Cluster) Owner(key string) (peer string, local bool) {
+	owner := c.ring.OwnerAmong(key, c.available)
+	if owner == "" || owner == c.self {
+		return c.self, true
+	}
+	return owner, false
+}
+
+// Forward POSTs body to http://peer+path with the forwarded-marker header
+// set (so the receiver answers locally rather than re-routing), retrying
+// transient failures with backoff, and accounting the outcome on the
+// peer's breaker. It returns the response body and HTTP status. Any HTTP
+// status from the peer — including 4xx/5xx application errors — is a
+// successful forward; only transport failures and breaker refusals return
+// ErrPeerUnavailable.
+func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte) ([]byte, int, error) {
+	c.mu.Lock()
+	st, ok := c.state[peer]
+	c.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: unknown peer %q", ErrPeerUnavailable, peer)
+	}
+	if !st.breaker.Allow() {
+		return nil, 0, fmt.Errorf("%w: circuit breaker open for %s", ErrPeerUnavailable, peer)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		respBody, status, err := c.post(ctx, peer, path, body)
+		if err == nil {
+			st.breaker.Success()
+			return respBody, status, nil
+		}
+		lastErr = err
+		st.breaker.Failure()
+		if attempt >= DefaultForwardRetries || ctx.Err() != nil || !st.breaker.Allow() {
+			break
+		}
+		select {
+		case <-time.After(DefaultRetryBackoff):
+		case <-ctx.Done():
+			return nil, 0, fmt.Errorf("%w: %v", ErrPeerUnavailable, ctx.Err())
+		}
+	}
+	c.mu.Lock()
+	st.up = false // fail fast until the next health sweep proves recovery
+	c.mu.Unlock()
+	return nil, 0, fmt.Errorf("%w: %v", ErrPeerUnavailable, lastErr)
+}
+
+// ForwardedHeader marks a request as already routed by a peer; a receiver
+// seeing it answers locally, which makes routing loops impossible even
+// when peers momentarily disagree about liveness.
+const ForwardedHeader = "X-Bgperf-Forwarded"
+
+// post performs one forward attempt.
+func (c *Cluster) post(ctx context.Context, peer, path string, body []byte) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		return nil, 0, err
+	}
+	return respBody, resp.StatusCode, nil
+}
+
+// Status returns the membership snapshot, self first then peers sorted by
+// address — the /clusterz payload.
+func (c *Cluster) Status() []PeerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := []PeerStatus{{Addr: c.self, Self: true, Up: true}}
+	peers := make([]string, 0, len(c.state))
+	for p := range c.state {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		st := c.state[p]
+		out = append(out, PeerStatus{Addr: p, Up: st.up, BreakerOpen: st.breaker.Blocked()})
+	}
+	return out
+}

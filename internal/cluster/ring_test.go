@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// keyFor derives a valid-looking cache key from a seed.
+func keyFor(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Fatal("empty peer address accepted")
+	}
+	r, err := NewRing([]string{"a:1", "a:1", "b:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 2 {
+		t.Fatalf("duplicate peers not collapsed: %v", got)
+	}
+}
+
+// TestRingDeterministicAndOrderInsensitive pins that every cluster member
+// computes identical ownership from the same peer set, whatever the order
+// of its -peers flag.
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"n1:8377", "n2:8377", "n3:8377"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:8377", "n1:8377", "n2:8377"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := keyFor(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d owned by %s on ring a but %s on ring b", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread keys within a loose
+// uniformity band: each of 3 peers owns between half and double its fair
+// share of 3000 keys.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"n1:8377", "n2:8377", "n3:8377"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(keyFor(i))]++
+	}
+	fair := n / len(peers)
+	for _, p := range peers {
+		if counts[p] < fair/2 || counts[p] > fair*2 {
+			t.Fatalf("peer %s owns %d of %d keys; fair share %d (distribution %v)", p, counts[p], n, fair, counts)
+		}
+	}
+}
+
+// TestRingRebalanceOnPeerLoss pins the consistent-hashing contract: losing
+// a peer moves only the keys it owned, and they redistribute to the
+// survivors; keys owned by survivors never move.
+func TestRingRebalanceOnPeerLoss(t *testing.T) {
+	peers := []string{"n1:8377", "n2:8377", "n3:8377"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	before := make([]string, n)
+	for i := 0; i < n; i++ {
+		before[i] = r.Owner(keyFor(i))
+	}
+	dead := "n2:8377"
+	alive := func(p string) bool { return p != dead }
+	moved := map[string]int{}
+	for i := 0; i < n; i++ {
+		after := r.OwnerAmong(keyFor(i), alive)
+		if after == dead {
+			t.Fatalf("key %d still routed to the dead peer", i)
+		}
+		if before[i] != dead {
+			if after != before[i] {
+				t.Fatalf("key %d owned by live peer %s moved to %s on unrelated peer loss", i, before[i], after)
+			}
+			continue
+		}
+		moved[after]++
+	}
+	// The dead peer's share must spread over both survivors, not pile onto
+	// one (that is what the virtual nodes buy).
+	if len(moved) != 2 {
+		t.Fatalf("dead peer's keys went to %d survivors, want 2: %v", len(moved), moved)
+	}
+}
+
+func TestRingAllDead(t *testing.T) {
+	r, err := NewRing([]string{"n1:8377"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner := r.OwnerAmong(keyFor(1), func(string) bool { return false }); owner != "" {
+		t.Fatalf("ring with no live peers returned owner %q", owner)
+	}
+}

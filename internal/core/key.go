@@ -67,6 +67,25 @@ func CacheKeyExt(cfg Config, section byte, ints []int64, floats []float64) (stri
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// ValidCacheKey reports whether s has the shape of a key produced by
+// CacheKey or CacheKeyExt: exactly 64 lowercase hexadecimal characters (a
+// hex-encoded SHA-256). Stores that use cache keys as on-disk file names
+// (internal/cas) gate on this before touching the filesystem, so a
+// corrupted or adversarial key can never escape the store's directory or
+// collide with its temp-file and quarantine namespaces.
+func ValidCacheKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // hashConfig writes the tagged canonical encoding of the validated config
 // (defaults applied) into the hash.
 func hashConfig(h hash.Hash, cfg Config) error {

@@ -134,3 +134,32 @@ func TestCacheKeyInvalidConfig(t *testing.T) {
 		t.Fatalf("want *ValidationError, got %T: %v", err, err)
 	}
 }
+
+// TestValidCacheKey pins the key-shape gate the disk store relies on: real
+// CacheKey output passes, and anything that could escape a file-per-key
+// directory layout (path separators, dots, wrong length, uppercase hex)
+// is rejected.
+func TestValidCacheKey(t *testing.T) {
+	key, err := CacheKey(keyTestConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidCacheKey(key) {
+		t.Fatalf("real cache key rejected: %q", key)
+	}
+	bad := []string{
+		"",
+		"abc",
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 65),
+		strings.Repeat("A", 64),         // uppercase hex
+		strings.Repeat("g", 64),         // not hex
+		"../" + strings.Repeat("a", 61), // path traversal
+		strings.Repeat("a", 32) + "." + strings.Repeat("a", 31),
+	}
+	for _, s := range bad {
+		if ValidCacheKey(s) {
+			t.Errorf("ValidCacheKey(%q) = true, want false", s)
+		}
+	}
+}

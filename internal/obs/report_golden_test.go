@@ -55,6 +55,8 @@ func TestReportSchemaGolden(t *testing.T) {
 	serve := ServeStats{
 		Requests: 10, CacheHits: 6, CacheMisses: 4, Coalesced: 2,
 		Solves: 2, InFlight: 1, Rejected: 1,
+		DiskHits: 3, Forwarded: 2, ForwardFailures: 1,
+		Shed: 1, Queued: 1, Streams: 1,
 		LatencySamples: 2, LatencyP50Ms: 0.5, LatencyP99Ms: 1.5,
 	}
 

@@ -19,6 +19,12 @@ var (
 	expServePlans       = expvar.NewInt("bgperf.serve.plans")
 	expServeInFlight    = expvar.NewInt("bgperf.serve.in_flight")
 	expServeRejected    = expvar.NewInt("bgperf.serve.rejected")
+	expServeDiskHits    = expvar.NewInt("bgperf.serve.disk_hits")
+	expServeForwarded   = expvar.NewInt("bgperf.serve.forwarded")
+	expServeForwardFail = expvar.NewInt("bgperf.serve.forward_failures")
+	expServeShed        = expvar.NewInt("bgperf.serve.shed")
+	expServeQueueDepth  = expvar.NewInt("bgperf.serve.queue_depth")
+	expServeStreams     = expvar.NewInt("bgperf.serve.streams")
 )
 
 // serveLatencyWindow bounds the latency reservoir: quantiles are computed
@@ -51,6 +57,25 @@ type ServeStats struct {
 	InFlight int64 `json:"inFlight"`
 	// Rejected counts requests refused with 503 while draining.
 	Rejected int64 `json:"rejected"`
+	// DiskHits counts requests answered from the persistent disk tier
+	// (internal/cas) after missing the in-memory LRU. A restarted daemon
+	// re-serving a warmed sweep shows DiskHits equal to the grid size and
+	// zero Solves.
+	DiskHits int64 `json:"diskHits"`
+	// Forwarded counts points routed to their owning cluster peer and
+	// answered by it.
+	Forwarded int64 `json:"forwarded"`
+	// ForwardFailures counts forwards that failed (peer dead, breaker
+	// open, transport error) and fell back to a local solve.
+	ForwardFailures int64 `json:"forwardFailures"`
+	// Shed counts requests refused with 503 + Retry-After by the
+	// admission gate (max in-flight and queue both full).
+	Shed int64 `json:"shed"`
+	// Queued is the number of requests waiting at the admission gate at
+	// snapshot time.
+	Queued int64 `json:"queued"`
+	// Streams counts NDJSON streaming sweeps started.
+	Streams int64 `json:"streams"`
 	// LatencySamples is how many solve durations the quantiles below are
 	// computed from (at most the most recent 1024).
 	LatencySamples int64 `json:"latencySamples"`
@@ -68,16 +93,22 @@ type ServeStats struct {
 type ServeCollector struct {
 	mu sync.Mutex
 
-	requests  int64
-	cacheHits int64
-	cacheMiss int64
-	coalesced int64
-	solves    int64
-	plans     int64
-	inFlight  int64
-	rejected  int64
-	recorded  int64
-	latMs     [serveLatencyWindow]float64
+	requests    int64
+	cacheHits   int64
+	cacheMiss   int64
+	coalesced   int64
+	solves      int64
+	plans       int64
+	inFlight    int64
+	rejected    int64
+	diskHits    int64
+	forwarded   int64
+	forwardFail int64
+	shed        int64
+	queued      int64
+	streams     int64
+	recorded    int64
+	latMs       [serveLatencyWindow]float64
 }
 
 // NewServeCollector returns an empty serve-layer collector.
@@ -136,6 +167,74 @@ func (s *ServeCollector) Rejected() {
 	s.rejected++
 	s.mu.Unlock()
 	expServeRejected.Add(1)
+}
+
+// DiskHit records a request answered from the persistent disk cache tier.
+func (s *ServeCollector) DiskHit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.diskHits++
+	s.mu.Unlock()
+	expServeDiskHits.Add(1)
+}
+
+// Forwarded records a point routed to and answered by its owning peer.
+func (s *ServeCollector) Forwarded() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.forwarded++
+	s.mu.Unlock()
+	expServeForwarded.Add(1)
+}
+
+// ForwardFailure records a forward that failed and fell back to a local
+// solve.
+func (s *ServeCollector) ForwardFailure() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.forwardFail++
+	s.mu.Unlock()
+	expServeForwardFail.Add(1)
+}
+
+// Shed records a request refused by the admission gate.
+func (s *ServeCollector) Shed() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+	expServeShed.Add(1)
+}
+
+// QueueDepth adjusts the admission-gate queue gauge by delta (+1 on
+// enqueue, -1 on dequeue).
+func (s *ServeCollector) QueueDepth(delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.queued += delta
+	s.mu.Unlock()
+	expServeQueueDepth.Add(delta)
+}
+
+// Stream records an NDJSON streaming sweep starting.
+func (s *ServeCollector) Stream() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.streams++
+	s.mu.Unlock()
+	expServeStreams.Add(1)
 }
 
 // SolveStart records a solver invocation beginning; pair it with SolveDone.
@@ -198,14 +297,20 @@ func (s *ServeCollector) Snapshot() ServeStats {
 	}
 	s.mu.Lock()
 	st := ServeStats{
-		Requests:    s.requests,
-		CacheHits:   s.cacheHits,
-		CacheMisses: s.cacheMiss,
-		Coalesced:   s.coalesced,
-		Solves:      s.solves,
-		Plans:       s.plans,
-		InFlight:    s.inFlight,
-		Rejected:    s.rejected,
+		Requests:        s.requests,
+		CacheHits:       s.cacheHits,
+		CacheMisses:     s.cacheMiss,
+		Coalesced:       s.coalesced,
+		Solves:          s.solves,
+		Plans:           s.plans,
+		InFlight:        s.inFlight,
+		Rejected:        s.rejected,
+		DiskHits:        s.diskHits,
+		Forwarded:       s.forwarded,
+		ForwardFailures: s.forwardFail,
+		Shed:            s.shed,
+		Queued:          s.queued,
+		Streams:         s.streams,
 	}
 	n := s.recorded
 	if n > serveLatencyWindow {

@@ -108,3 +108,42 @@ func TestServeCollectorConcurrent(t *testing.T) {
 		t.Fatalf("lost events under concurrency: %+v", st)
 	}
 }
+
+// TestServeCollectorTierAndAdmissionCounters covers the cluster-era
+// counters: disk-tier hits, forwards and their failures, admission-gate
+// shedding and queue depth, and streaming sweeps.
+func TestServeCollectorTierAndAdmissionCounters(t *testing.T) {
+	s := NewServeCollector()
+	s.DiskHit()
+	s.DiskHit()
+	s.Forwarded()
+	s.ForwardFailure()
+	s.Shed()
+	s.QueueDepth(1)
+	s.QueueDepth(1)
+	s.Stream()
+	st := s.Snapshot()
+	if st.DiskHits != 2 || st.Forwarded != 1 || st.ForwardFailures != 1 {
+		t.Fatalf("tier counters: %+v", st)
+	}
+	if st.Shed != 1 || st.Queued != 2 || st.Streams != 1 {
+		t.Fatalf("admission counters: %+v", st)
+	}
+	s.QueueDepth(-1)
+	s.QueueDepth(-1)
+	if st := s.Snapshot(); st.Queued != 0 {
+		t.Fatalf("queue gauge did not drain: %+v", st)
+	}
+
+	// Nil safety, matching every other collector method.
+	var nilC *ServeCollector
+	nilC.DiskHit()
+	nilC.Forwarded()
+	nilC.ForwardFailure()
+	nilC.Shed()
+	nilC.QueueDepth(1)
+	nilC.Stream()
+	if st := nilC.Snapshot(); st != (ServeStats{}) {
+		t.Fatalf("nil collector snapshot not zero: %+v", st)
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"bgperf/internal/obs"
+)
+
+// DefaultMaxQueue multiplies MaxInFlight to size the admission-gate wait
+// queue when Options.MaxQueue is zero.
+const DefaultMaxQueue = 2
+
+// gate is the admission controller: at most maxInFlight requests hold a
+// slot concurrently, at most maxQueue more wait for one, and everything
+// beyond that is shed immediately with 503 + Retry-After. A nil gate
+// admits everything (admission control disabled).
+type gate struct {
+	slots chan struct{}
+	queue chan struct{}
+	stats *obs.ServeCollector
+}
+
+// newGate returns an admission gate of maxInFlight slots and a wait queue
+// of maxQueue (0 means DefaultMaxQueue × maxInFlight). maxInFlight <= 0
+// disables admission control entirely (returns nil).
+func newGate(maxInFlight, maxQueue int, stats *obs.ServeCollector) *gate {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue * maxInFlight
+	}
+	return &gate{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+		stats: stats,
+	}
+}
+
+// acquire admits the request, waiting in the bounded queue if every slot
+// is busy. It returns a release closure and true on admission; false means
+// the request was shed (queue full) or its context ended while queued.
+func (g *gate) acquire(ctx context.Context) (release func(), admitted bool) {
+	if g == nil {
+		return func() {}, true
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	default:
+	}
+	// Queue if there is room; shed otherwise.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.stats.Shed()
+		return nil, false
+	}
+	g.stats.QueueDepth(1)
+	defer func() {
+		g.stats.QueueDepth(-1)
+		<-g.queue
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	case <-ctx.Done():
+		g.stats.Shed()
+		return nil, false
+	}
+}
+
+// shedResponse answers a shed request: 503 with a Retry-After hint, in the
+// uniform error envelope.
+func shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable,
+		errShed)
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionGateSheds pins the admission controller: with one slot and
+// a one-deep queue, a third concurrent request is shed with 503 and a
+// Retry-After hint, the shed counter moves, and the admitted requests
+// still answer normally once the slot frees up.
+func TestAdmissionGateSheds(t *testing.T) {
+	s := newTest(t, Options{MaxInFlight: 1, MaxQueue: 1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.solveBarrier = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	// Request A: takes the slot and parks in the solver barrier.
+	aDone := make(chan *int, 1)
+	go func() {
+		rec := postJSON(t, s.Handler(), "/v1/solve", fig5Body)
+		aDone <- &rec.Code
+	}()
+	<-entered
+
+	// Request B (a different point, so it cannot coalesce with A): fills
+	// the wait queue.
+	bDone := make(chan *int, 1)
+	go func() {
+		rec := postJSON(t, s.Handler(), "/v1/solve",
+			`{"workload":"email","utilization":0.2,"bgProb":0.4}`)
+		bDone <- &rec.Code
+	}()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+
+	// Request C: slot busy, queue full — shed.
+	rec := postJSON(t, s.Handler(), "/v1/solve",
+		`{"workload":"email","utilization":0.2,"bgProb":0.5}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("third request got %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	var res PointResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil || res.Error == nil {
+		t.Fatalf("shed response not the uniform error envelope: %s (%v)", rec.Body, err)
+	}
+	if res.Error.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed error code = %d, want 503", res.Error.Code)
+	}
+	if got := s.Stats().Shed; got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// Free the slot: A and the queued B both complete successfully.
+	close(release)
+	for name, ch := range map[string]chan *int{"A": aDone, "B": bDone} {
+		select {
+		case code := <-ch:
+			if *code != http.StatusOK {
+				t.Fatalf("request %s finished with %d, want 200", name, *code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %s never completed", name)
+		}
+	}
+	if q := s.Stats().Queued; q != 0 {
+		t.Fatalf("queue gauge = %d after drain, want 0", q)
+	}
+}
+
+// TestGateDisabledByDefault pins the default: without MaxInFlight there is
+// no gate object at all, and requests are never shed.
+func TestGateDisabledByDefault(t *testing.T) {
+	s := newTest(t, Options{})
+	if s.gate != nil {
+		t.Fatal("zero Options built an admission gate")
+	}
+	if rec := postJSON(t, s.Handler(), "/v1/solve", fig5Body); rec.Code != http.StatusOK {
+		t.Fatalf("ungated solve got %d, want 200", rec.Code)
+	}
+}
+
+// waitFor polls cond for a bounded time; the deadline failure names the
+// caller's line.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

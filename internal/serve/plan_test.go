@@ -56,7 +56,7 @@ func fig5SLO(t *testing.T) plan.SLO {
 // second identical optimize request is answered from the plan cache without
 // re-running the inverse search.
 func TestOptimizePlanCacheSkipsPlanner(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	body := planBody(t, fig5SLO(t), "p")
 
 	first := postJSON(t, s.Handler(), "/v1/optimize", body)
@@ -115,7 +115,7 @@ func TestOptimizeMatchesDirectPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := New(Options{})
+	s := newTest(t, Options{})
 	rec := postJSON(t, s.Handler(), "/v1/optimize", planBody(t, slo, "p"))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("optimize: %d %s", rec.Code, rec.Body)
@@ -190,7 +190,7 @@ func TestOptimizeErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := New(Options{})
+			s := newTest(t, Options{})
 			rec := postJSON(t, s.Handler(), "/v1/optimize", tc.body)
 			if rec.Code != tc.wantStatus {
 				t.Fatalf("status = %d, want %d; body %s", rec.Code, tc.wantStatus, rec.Body)
@@ -232,7 +232,7 @@ func emailNDJSON(t *testing.T, n int) string {
 }
 
 func TestPlanFromTrace(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	body := emailNDJSON(t, 2000)
 	// A huge queue-length bound is satisfiable at any p, so the plan
 	// deterministically reports the domain cap.
@@ -269,7 +269,7 @@ func TestPlanFromTrace(t *testing.T) {
 }
 
 func TestPlanFromTraceErrors(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	cases := []struct {
 		name       string
 		path       string
@@ -326,7 +326,7 @@ func TestPlanFromTraceErrors(t *testing.T) {
 // TestPlanEndpointsDrainAndMethod pins that the new endpoints share the
 // serving stack's draining gate and method check.
 func TestPlanEndpointsDrainAndMethod(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	for _, path := range []string{"/v1/optimize", "/v1/plan-from-trace"} {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		rec := httptest.NewRecorder()
@@ -351,7 +351,7 @@ func TestPlanEndpointsDrainAndMethod(t *testing.T) {
 // requests differing only in the base value of the searched variable share
 // one plan cache entry — the search overrides that value anyway.
 func TestOptimizeCacheKeyNormalizesBaseVariable(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	slo := fig5SLO(t)
 	sloJSON, _ := json.Marshal(slo)
 	b1 := fmt.Sprintf(`{"workload":"email","utilization":0.2,"bgProb":0.1,"slo":%s}`, sloJSON)

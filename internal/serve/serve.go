@@ -13,6 +13,25 @@
 //     context deadline (504 on expiry), and a draining server answers new
 //     work with 503 while in-flight solves complete.
 //
+// Two more layers turn the single process into a deployable tier (both are
+// opt-in; see docs/OPERATIONS.md):
+//
+//   - a persistent disk cache (internal/cas) under the LRU — on a memory
+//     miss the daemon consults a content-addressed on-disk store keyed by
+//     the same CacheKey, so every point ever solved survives restarts and
+//     a re-warmed sweep re-solves nothing;
+//   - cluster mode (internal/cluster) — a static peer list is consistent-
+//     hashed over the key space, each point is forwarded to its owning
+//     peer (which holds that shard's memory and disk cache), and a dead or
+//     draining peer's shard degrades to a local solve instead of failing.
+//
+// /v1/sweep additionally streams: a request with Accept:
+// application/x-ndjson receives one PointResult per line, in request
+// order, each written as its point finishes solving — a 10k-point grid
+// starts arriving after the first solve instead of after the last. An
+// admission gate (Options.MaxInFlight) bounds concurrent request work and
+// sheds the overflow with 503 + Retry-After.
+//
 // The same stack serves the inverse solver: POST /v1/optimize answers
 // capacity plans (max sustainable background probability, buffer, or idle
 // rate under a foreground SLO) through a plan cache and plan coalescing
@@ -43,6 +62,8 @@ import (
 	"time"
 	"unsafe"
 
+	"bgperf/internal/cas"
+	"bgperf/internal/cluster"
 	"bgperf/internal/core"
 	"bgperf/internal/obs"
 	"bgperf/internal/par"
@@ -83,6 +104,32 @@ type Options struct {
 	// Observer optionally replaces the server's own Diagnostics collector
 	// as the solver observer (tests count solves through it).
 	Observer obs.Observer
+	// CacheDir enables the persistent disk cache tier: solved metrics are
+	// written to a content-addressed store rooted here and consulted on
+	// every memory miss. Empty disables the disk tier.
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier's size; 0 means
+	// cas.DefaultMaxBytes, negative removes the bound. Ignored without
+	// CacheDir.
+	DiskCacheBytes int64
+	// MaxInFlight enables admission control: at most this many requests
+	// are served concurrently, MaxQueue more wait, and the rest are shed
+	// with 503 + Retry-After. <= 0 disables the gate.
+	MaxInFlight int
+	// MaxQueue bounds the admission-gate wait queue; 0 means
+	// DefaultMaxQueue × MaxInFlight.
+	MaxQueue int
+	// Self is this daemon's advertised host:port for cluster mode; it must
+	// appear in Peers. Ignored without Peers.
+	Self string
+	// Peers enables cluster mode: the static membership (host:port,
+	// including Self) whose consistent-hash ring shards the key space.
+	// Empty means single-node operation.
+	Peers []string
+	// HealthInterval is the cluster health-probe period; 0 means
+	// cluster.DefaultHealthInterval, negative disables background probes
+	// (tests drive health checks directly).
+	HealthInterval time.Duration
 }
 
 // Server is the bgperfd HTTP service: handlers plus the solve cache, the
@@ -91,6 +138,9 @@ type Options struct {
 type Server struct {
 	cache     *cache[core.Metrics]
 	plans     *cache[*plan.Result]
+	disk      *cas.Store
+	cl        *cluster.Cluster
+	gate      *gate
 	group     *flightGroup[core.Metrics]
 	planGroup *flightGroup[*plan.Result]
 	stats     *obs.ServeCollector
@@ -107,8 +157,10 @@ type Server struct {
 	solveBarrier func()
 }
 
-// New returns a ready-to-mount Server over the given options.
-func New(opts Options) *Server {
+// New returns a ready-to-mount Server over the given options: it opens
+// (and scan-repairs) the disk cache when CacheDir is set, and builds the
+// cluster membership when Peers is non-empty. Pair it with Close.
+func New(opts Options) (*Server, error) {
 	entries := opts.CacheEntries
 	switch {
 	case entries == 0:
@@ -142,15 +194,50 @@ func New(opts Options) *Server {
 	if s.observer == nil {
 		s.observer = s.diag
 	}
+	s.gate = newGate(opts.MaxInFlight, opts.MaxQueue, s.stats)
+	if opts.CacheDir != "" {
+		disk, err := cas.Open(opts.CacheDir, cas.Options{MaxBytes: opts.DiskCacheBytes})
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
+	if len(opts.Peers) > 0 {
+		cl, err := cluster.New(cluster.Config{
+			Self:           opts.Self,
+			Peers:          opts.Peers,
+			HealthInterval: opts.HealthInterval,
+		})
+		if err != nil {
+			s.disk.Close()
+			return nil, err
+		}
+		s.cl = cl
+		cl.Start()
+	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/v1/plan-from-trace", s.handlePlanFromTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/clusterz", s.handleClusterz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.Handle("/debug/vars", expvar.Handler())
-	return s
+	return s, nil
 }
+
+// Close releases the server's long-lived resources: the cluster health
+// prober and the disk store. It does not drain in-flight HTTP requests —
+// that is StartDrain + http.Server.Shutdown's job.
+func (s *Server) Close() error {
+	if s.cl != nil {
+		s.cl.Close()
+	}
+	return s.disk.Close()
+}
+
+// DiskStats returns the disk cache tier's counters (zero without CacheDir).
+func (s *Server) DiskStats() cas.Stats { return s.disk.Stats() }
 
 // Handler returns the daemon's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -183,10 +270,17 @@ type errorBody struct {
 type PointResult struct {
 	// Key is the canonical cache key of the solved configuration.
 	Key string `json:"key,omitempty"`
-	// Cached reports that the answer came from the solve cache.
+	// Cached reports that the answer came from the solve cache (either
+	// tier).
 	Cached bool `json:"cached,omitempty"`
+	// DiskCached reports that the answer came from the persistent disk
+	// tier after missing the in-memory LRU (and was promoted back into it).
+	DiskCached bool `json:"diskCached,omitempty"`
 	// Coalesced reports that the request shared another request's solve.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Peer names the cluster peer that answered the point, when it was
+	// forwarded to its owner rather than solved here.
+	Peer string `json:"peer,omitempty"`
 	// Metrics are the solved steady-state metrics (the same JSON object
 	// `bgperf solve -json` prints).
 	Metrics *core.Metrics `json:"metrics,omitempty"`
@@ -257,10 +351,13 @@ func (s *Server) reject(w http.ResponseWriter) bool {
 	return true
 }
 
-// solvePoint answers one parameter point through the cache → coalescer →
-// solver pipeline. It never panics on user input; all failures come back as
-// a PointResult with Error set and the matching HTTP status.
-func (s *Server) solvePoint(ctx context.Context, req SolveRequest) (PointResult, int) {
+// solvePoint answers one parameter point through the full serving
+// pipeline: memory LRU → disk tier → cluster routing → coalescer →
+// solver. local forces a local answer (set for requests a peer already
+// routed here, so routing loops are impossible). It never panics on user
+// input; all failures come back as a PointResult with Error set and the
+// matching HTTP status.
+func (s *Server) solvePoint(ctx context.Context, req SolveRequest, local bool) (PointResult, int) {
 	s.stats.Request()
 	cfg, err := req.Config()
 	if err != nil {
@@ -275,8 +372,21 @@ func (s *Server) solvePoint(ctx context.Context, req SolveRequest) (PointResult,
 		return PointResult{Key: key, Cached: true, Metrics: &m}, http.StatusOK
 	}
 	s.stats.CacheMiss()
+	if m, ok := s.diskGet(key); ok {
+		s.stats.DiskHit()
+		s.cache.Add(key, m) // promote to the memory tier
+		return PointResult{Key: key, Cached: true, DiskCached: true, Metrics: &m}, http.StatusOK
+	}
 	if err := ctx.Err(); err != nil {
 		return errResult(key, deadlineErr(err)), http.StatusGatewayTimeout
+	}
+	if s.cl != nil && !local {
+		if peer, isLocal := s.cl.Owner(key); !isLocal {
+			if res, status, ok := s.forwardSolve(ctx, peer, req, key); ok {
+				return res, status
+			}
+			// Forward failed: degrade to a local solve below.
+		}
 	}
 	m, err, coalesced := s.group.Do(ctx, key, func() (core.Metrics, error) {
 		if s.solveBarrier != nil {
@@ -305,6 +415,7 @@ func (s *Server) solvePoint(ctx context.Context, req SolveRequest) (PointResult,
 			return core.Metrics{}, err
 		}
 		s.cache.Add(key, sol.Metrics)
+		s.diskPut(key, sol.Metrics)
 		return sol.Metrics, nil
 	})
 	if coalesced {
@@ -340,6 +451,72 @@ func finishResult(r *PointResult, status int) {
 	}
 }
 
+// errShed is the body of an admission-gate 503.
+var errShed = errors.New("serve: at capacity, retry shortly")
+
+// diskGet consults the persistent tier and decodes its payload. A payload
+// that fails to decode is treated as a miss (the envelope checksum makes
+// this near-impossible; a format change across versions is the realistic
+// path here, and re-solving is always safe).
+func (s *Server) diskGet(key string) (core.Metrics, bool) {
+	if s.disk == nil {
+		return core.Metrics{}, false
+	}
+	payload, ok := s.disk.Get(key)
+	if !ok {
+		return core.Metrics{}, false
+	}
+	var m core.Metrics
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return core.Metrics{}, false
+	}
+	return m, true
+}
+
+// diskPut writes a solved point through to the persistent tier,
+// best-effort: a full disk must not fail the request — the solve already
+// succeeded.
+func (s *Server) diskPut(key string, m core.Metrics) {
+	if s.disk == nil {
+		return
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	s.disk.Put(key, payload)
+}
+
+// forwardSolve routes one point to its owning peer and adapts the answer.
+// ok=false means the forward failed (peer dead, breaker open) and the
+// caller should solve locally; any HTTP answer from the peer — including
+// its application errors — is returned as-is with ok=true. Successful
+// answers are promoted into the local memory tier (not the disk tier: the
+// owner's disk already holds the point, duplicating it here would defeat
+// the sharding).
+func (s *Server) forwardSolve(ctx context.Context, peer string, req SolveRequest, key string) (PointResult, int, bool) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return PointResult{}, 0, false
+	}
+	respBody, status, err := s.cl.Forward(ctx, peer, "/v1/solve", body)
+	if err != nil {
+		s.stats.ForwardFailure()
+		return PointResult{}, 0, false
+	}
+	var res PointResult
+	if err := json.Unmarshal(respBody, &res); err != nil {
+		s.stats.ForwardFailure()
+		return PointResult{}, 0, false
+	}
+	s.stats.Forwarded()
+	res.Peer = peer
+	if status == http.StatusOK && res.Metrics != nil {
+		s.cache.Add(key, *res.Metrics)
+	}
+	return res, status, true
+}
+
 // handleSolve answers POST /v1/solve: one parameter point.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -351,6 +528,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	release, admitted := s.gate.acquire(ctx)
+	if !admitted {
+		shedResponse(w)
+		return
+	}
+	defer release()
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -359,7 +542,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			core.NewValidationError(core.ErrConfig, "body", "malformed request JSON: %v", err))
 		return
 	}
-	res, status := s.solvePoint(ctx, req)
+	res, status := s.solvePoint(ctx, req, r.Header.Get(cluster.ForwardedHeader) != "")
 	finishResult(&res, status)
 	writeJSON(w, status, res)
 }
@@ -377,6 +560,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	release, admitted := s.gate.acquire(ctx)
+	if !admitted {
+		shedResponse(w)
+		return
+	}
+	defer release()
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -395,9 +584,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			core.NewValidationError(core.ErrConfig, "points", "sweep of %d points exceeds the %d-point bound", len(req.Points), maxSweepPoints))
 		return
 	}
+	local := r.Header.Get(cluster.ForwardedHeader) != ""
+	if wantsNDJSON(r) {
+		s.streamSweep(ctx, w, req, local)
+		return
+	}
 	results := make([]PointResult, len(req.Points))
 	par.ForCtx(ctx, s.workers, len(req.Points), func(i int) error {
-		res, status := s.solvePoint(ctx, req.Points[i])
+		res, status := s.solvePoint(ctx, req.Points[i], local)
 		finishResult(&res, status)
 		results[i] = res
 		return nil
@@ -517,6 +711,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	release, admitted := s.gate.acquire(ctx)
+	if !admitted {
+		shedResponse(w)
+		return
+	}
+	defer release()
 	var req OptimizeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -551,6 +751,12 @@ func (s *Server) handlePlanFromTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	release, admitted := s.gate.acquire(ctx)
+	if !admitted {
+		shedResponse(w)
+		return
+	}
+	defer release()
 	req, err := planTraceQuery(r.URL.Query())
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -671,10 +877,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsSnapshot is the JSON body of GET /metrics: the serve-layer
-// counters plus the solver diagnostics report.
+// counters plus the solver diagnostics report, and — when the matching
+// tier is enabled — the disk cache and cluster membership sections.
 type metricsSnapshot struct {
 	// Serve is the serving-layer section: cache, coalescing, latency.
 	Serve obs.ServeStats `json:"serve"`
+	// Disk is the persistent cache tier's counters; present only when the
+	// daemon runs with a cache directory.
+	Disk *cas.Stats `json:"disk,omitempty"`
+	// Cluster is the peer membership table; present only in cluster mode.
+	Cluster []cluster.PeerStatus `json:"cluster,omitempty"`
 	// Diag is the solver diagnostics report (stage timings, convergence,
 	// workspace pools) aggregated over every solve the daemon performed.
 	Diag obs.Report `json:"diag"`
@@ -682,8 +894,30 @@ type metricsSnapshot struct {
 
 // handleMetrics answers GET /metrics with the combined JSON snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricsSnapshot{
+	snap := metricsSnapshot{
 		Serve: s.stats.Snapshot(),
 		Diag:  s.diag.Report(),
-	})
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		snap.Disk = &ds
+	}
+	if s.cl != nil {
+		snap.Cluster = s.cl.Status()
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleClusterz answers GET /clusterz: the membership table in cluster
+// mode, {"enabled": false} otherwise. Operators watch this during rolling
+// restarts to see peers leave and rejoin the ring.
+func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		writeJSON(w, http.StatusOK, map[string]bool{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool                 `json:"enabled"`
+		Peers   []cluster.PeerStatus `json:"peers"`
+	}{true, s.cl.Status()})
 }

@@ -43,6 +43,18 @@ func (c *solveCounter) count() int {
 	return c.solves
 }
 
+// newTest builds a Server over opts, failing the test on construction
+// errors and closing it on cleanup.
+func newTest(t testing.TB, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
 // postJSON posts body to path on h and returns the recorded response.
 func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
@@ -50,6 +62,14 @@ func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.Respons
 	req.Header.Set("Content-Type", "application/json")
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// doGet issues a GET against path on h and returns the recorded response.
+func doGet(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 	return rec
 }
 
@@ -126,7 +146,7 @@ func TestHandleSolveErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := New(Options{RequestTimeout: tc.timeout})
+			s := newTest(t, Options{RequestTimeout: tc.timeout})
 			if tc.name == "deadline exceeded" {
 				// Hold the solve until the 1 ns request deadline has long
 				// expired, so the ctx check inside the leader path fires
@@ -158,7 +178,7 @@ func TestHandleSolveErrors(t *testing.T) {
 }
 
 func TestSolveMethodNotAllowed(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	for _, path := range []string{"/v1/solve", "/v1/sweep"} {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		rec := httptest.NewRecorder()
@@ -175,7 +195,7 @@ func TestSolveMethodNotAllowed(t *testing.T) {
 // counting completed solves.
 func TestSolveCacheSkipsSolver(t *testing.T) {
 	counter := &solveCounter{}
-	s := New(Options{Observer: counter})
+	s := newTest(t, Options{Observer: counter})
 
 	first := postJSON(t, s.Handler(), "/v1/solve", fig5Body)
 	if first.Code != http.StatusOK {
@@ -247,7 +267,7 @@ func TestSolveMatchesBatchCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := New(Options{})
+	s := newTest(t, Options{})
 	rec := postJSON(t, s.Handler(), "/v1/solve", fig5Body)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("solve: %d %s", rec.Code, rec.Body)
@@ -274,7 +294,7 @@ func TestSolveMatchesBatchCLI(t *testing.T) {
 func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	const m = 16
 	counter := &solveCounter{}
-	s := New(Options{Observer: counter})
+	s := newTest(t, Options{Observer: counter})
 	release := make(chan struct{})
 	s.solveBarrier = func() { <-release }
 
@@ -346,7 +366,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 
 func TestSweep(t *testing.T) {
 	counter := &solveCounter{}
-	s := New(Options{Observer: counter})
+	s := newTest(t, Options{Observer: counter})
 	body := `{"points":[
 		{"workload":"email","utilization":0.2,"bgProb":0.3},
 		{"workload":"email","utilization":0.2,"bgProb":0.6},
@@ -385,7 +405,7 @@ func TestSweep(t *testing.T) {
 }
 
 func TestSweepValidation(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	cases := []struct {
 		name, body string
 		wantField  string
@@ -415,7 +435,7 @@ func TestSweepValidation(t *testing.T) {
 }
 
 func TestHealthzAndDraining(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, req)
@@ -446,7 +466,7 @@ func TestHealthzAndDraining(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	s := New(Options{})
+	s := newTest(t, Options{})
 	postJSON(t, s.Handler(), "/v1/solve", fig5Body)
 	postJSON(t, s.Handler(), "/v1/solve", fig5Body)
 

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postNDJSON posts a sweep asking for the streamed representation.
+func postNDJSON(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestStreamMatchesBatchBytes pins the parity satellite: line i of the
+// NDJSON stream is byte-identical to the compact encoding of element i of
+// the batch response for the same sweep — a streaming client and a batch
+// client see exactly the same objects in exactly the same order.
+func TestStreamMatchesBatchBytes(t *testing.T) {
+	const grid = 6
+	body := sweepBody(grid)
+
+	// Fresh servers for each representation, so both runs start cold and
+	// no cached/coalesced flags differ between them.
+	batchSrv := newTest(t, Options{})
+	rec := postJSON(t, batchSrv.Handler(), "/v1/sweep", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch sweep: status %d: %s", rec.Code, rec.Body)
+	}
+	var batch SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+
+	streamSrv := newTest(t, Options{})
+	srec := postNDJSON(t, streamSrv.Handler(), body)
+	if srec.Code != http.StatusOK {
+		t.Fatalf("streamed sweep: status %d: %s", srec.Code, srec.Body)
+	}
+	if ct := srec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	var lines [][]byte
+	sc := bufio.NewScanner(bytes.NewReader(srec.Body.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != grid {
+		t.Fatalf("stream emitted %d lines, want %d", len(lines), grid)
+	}
+	for i, res := range batch.Results {
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lines[i], want) {
+			t.Errorf("line %d differs from batch element\n stream: %s\n batch:  %s", i, lines[i], want)
+		}
+	}
+	if st := streamSrv.Stats(); st.Streams != 1 {
+		t.Fatalf("streams counter = %d, want 1", st.Streams)
+	}
+}
+
+// TestStreamWithoutAcceptStaysBatch pins content negotiation: the NDJSON
+// path is opt-in, a plain sweep still answers the JSON batch body.
+func TestStreamWithoutAcceptStaysBatch(t *testing.T) {
+	s := newTest(t, Options{})
+	rec := postJSON(t, s.Handler(), "/v1/sweep", sweepBody(2))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("batch body not a SweepResponse: %v", err)
+	}
+	if st := s.Stats(); st.Streams != 0 {
+		t.Fatalf("streams counter = %d, want 0", st.Streams)
+	}
+}
+
+// TestStreamStopsOnCancel pins disconnect handling: a client that goes
+// away mid-stream stops the emitter (and, through the shared context, the
+// remaining solves) instead of running the sweep to completion.
+func TestStreamStopsOnCancel(t *testing.T) {
+	s := newTest(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Hold every solve at the barrier until the client cancels.
+	released := make(chan struct{})
+	s.solveBarrier = func() {
+		cancel() // the "disconnect" happens while the first point solves
+		<-released
+	}
+	defer close(released)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(sweepBody(4))).WithContext(ctx)
+	req.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client cancel")
+	}
+}

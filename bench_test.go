@@ -117,6 +117,62 @@ func BenchmarkPlan(b *testing.B) {
 	}
 }
 
+// BenchmarkModulatedSolve measures one analytic solve of the full PR 10
+// scenario stack — capacity modulation (φ = 0.7) plus deadline admission
+// (δ = 0.4) on the paper's MMPP(2) email workload — so the scenario kernels
+// (modulated blocks, renege generators) are guarded alongside the baseline.
+func BenchmarkModulatedSolve(b *testing.B) {
+	m, err := bgperf.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bgperf.Config{
+		Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4,
+		IdleRate: 1, ModFactor: 0.7,
+		BGAdmit: bgperf.AdmitDeadline, DeadlineRate: 0.4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := bgperf.Solve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Metrics.DeadlineMissBG <= 0 {
+			b.Fatalf("degenerate solve: miss %g", sol.Metrics.DeadlineMissBG)
+		}
+	}
+}
+
+// BenchmarkModulatedSim is the simulator counterpart of
+// BenchmarkModulatedSolve: the same modulated/deadline configuration through
+// the event loop, reporting events/sec like BenchmarkSimEvents so the
+// scenario branches (whole-draw stretch, pooled renege timer) are held to the
+// baseline event-loop throughput.
+func BenchmarkModulatedSim(b *testing.B) {
+	m, err := bgperf.MMPP2(0.02, 0.05, 0.9, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bgperf.SimConfig{
+		Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4,
+		IdleRate: 1, ModFactor: 0.7,
+		BGAdmit: bgperf.AdmitDeadline, DeadlineRate: 0.4,
+		Seed: 1, WarmupTime: 1000, MeasureTime: 2e6,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := bgperf.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Counters.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // BenchmarkAblation exercises the idle-policy and buffer ablations (A-1).
 func BenchmarkAblation(b *testing.B) { benchFigure(b, "ablation") }
 

@@ -56,6 +56,8 @@ type (
 	IdleWaitPolicy = core.IdleWaitPolicy
 	// Kind classifies chain states by server condition.
 	Kind = core.Kind
+	// BGAdmission selects the background admission policy.
+	BGAdmission = core.BGAdmission
 )
 
 // Arrival-process types.
@@ -121,6 +123,15 @@ const (
 	KindIdle  = core.KindIdle
 )
 
+// Background admission policies (PR 10 scenario expansion): blind admission,
+// a foreground-queue threshold gate, and deadline-bounded waiting with
+// reneging.
+const (
+	AdmitAll           = core.AdmitAll
+	AdmitUtilThreshold = core.AdmitUtilThreshold
+	AdmitDeadline      = core.AdmitDeadline
+)
+
 // Paper service-process constants (Sec. 3.1): exponential service with a
 // 6 ms mean.
 const (
@@ -139,6 +150,11 @@ func ParseIdleDist(s string) (IdleDist, error) { return sim.ParseIdleDist(s) }
 // ParseKind maps "empty" / "fg-serving" / "bg-serving" / "idle-wait" back to
 // the chain state kinds (the inverse of Kind.String).
 func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// ParseBGAdmission maps "all" / "util-threshold" / "deadline" back to the
+// admission policy constants (the inverse of BGAdmission.String). The empty
+// string means the default, AdmitAll.
+func ParseBGAdmission(s string) (BGAdmission, error) { return core.ParseBGAdmission(s) }
 
 // NewModel validates cfg and prepares the analytic chain. It accepts the
 // package options for uniformity with Solve; model construction itself is

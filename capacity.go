@@ -34,15 +34,21 @@ const (
 	// PlanIdleRate searches the idle-wait rate α — "how aggressively may
 	// idle waits expire before foreground latency suffers?"
 	PlanIdleRate = plan.VarIdleRate
+	// PlanModFactor searches the capacity-modulation factor φ downward —
+	// "how much may background work slow the server before foreground
+	// latency suffers?" The frontier is the MINIMUM feasible φ.
+	PlanModFactor = plan.VarModFactor
 )
 
-// ParsePlanVar maps "p" / "x" / "alpha" (and their aliases) back to the
-// decision-variable constants (the inverse of PlanVar.String).
+// ParsePlanVar maps "p" / "x" / "alpha" / "mod" (and their aliases) back to
+// the decision-variable constants (the inverse of PlanVar.String).
 func ParsePlanVar(s string) (PlanVar, error) { return plan.ParseVar(s) }
 
-// Plan inverts the analytic model: it finds the maximum value of the
+// Plan inverts the analytic model: it finds the frontier value of the
 // decision variable selected by WithPlanVar (default PlanBGProb) for which
-// cfg still meets slo, by bisection over the monotone foreground metrics.
+// cfg still meets slo, by bisection over the monotone foreground metrics —
+// the maximum feasible value for PlanBGProb, PlanBGBuffer, and PlanIdleRate,
+// the minimum feasible φ for PlanModFactor (deeper modulation hurts FG).
 // The returned frontier is always an actually-solved feasible point, with
 // the metrics there and a small sensitivity neighborhood. When even the
 // most conservative setting of the variable violates slo — or the

@@ -101,26 +101,34 @@ func workloadByName(name string) (*arrival.MAP, error) {
 
 // modelFlags adds the flags shared by solve and sim.
 type modelFlags struct {
-	workload   *string
-	util       *float64
-	p          *float64
-	buffer     *int
-	idleMult   *float64
-	policy     *string
-	serviceSCV *float64
-	idleSCV    *float64
+	workload     *string
+	util         *float64
+	p            *float64
+	buffer       *int
+	idleMult     *float64
+	policy       *string
+	serviceSCV   *float64
+	idleSCV      *float64
+	modFactor    *float64
+	admit        *string
+	fgThreshold  *int
+	deadlineRate *float64
 }
 
 func addModelFlags(fs *flag.FlagSet) modelFlags {
 	return modelFlags{
-		workload:   fs.String("workload", "email", "arrival workload (email | softdev | useraccounts | email-lowacf | email-ipp | poisson)"),
-		util:       fs.Float64("util", 0, "foreground utilization to scale to (0 keeps the native trace load)"),
-		p:          fs.Float64("p", 0.3, "probability a foreground completion spawns a background job"),
-		buffer:     fs.Int("buffer", 5, "background buffer capacity"),
-		idleMult:   fs.Float64("idlemult", 1, "mean idle wait in multiples of the 6 ms service time"),
-		policy:     fs.String("policy", "per-job", "idle-wait policy (per-job | per-period)"),
-		serviceSCV: fs.Float64("servicescv", 1, "service-time SCV at the 6 ms mean (1: exponential; <1: Erlang; >1: hyperexponential)"),
-		idleSCV:    fs.Float64("idlescv", 1, "idle-wait SCV at the chosen mean (1: exponential; <1: Erlang, approximating fixed firmware timers)"),
+		workload:     fs.String("workload", "email", "arrival workload (email | softdev | useraccounts | email-lowacf | email-ipp | poisson)"),
+		util:         fs.Float64("util", 0, "foreground utilization to scale to (0 keeps the native trace load)"),
+		p:            fs.Float64("p", 0.3, "probability a foreground completion spawns a background job"),
+		buffer:       fs.Int("buffer", 5, "background buffer capacity"),
+		idleMult:     fs.Float64("idlemult", 1, "mean idle wait in multiples of the 6 ms service time"),
+		policy:       fs.String("policy", "per-job", "idle-wait policy (per-job | per-period)"),
+		serviceSCV:   fs.Float64("servicescv", 1, "service-time SCV at the 6 ms mean (1: exponential; <1: Erlang; >1: hyperexponential)"),
+		idleSCV:      fs.Float64("idlescv", 1, "idle-wait SCV at the chosen mean (1: exponential; <1: Erlang, approximating fixed firmware timers)"),
+		modFactor:    fs.Float64("mod", 1, "capacity-modulation factor φ ∈ (0,1]: service rate while BG work is present (1 = no modulation)"),
+		admit:        fs.String("admit", "all", "background admission policy (all | util-threshold | deadline)"),
+		fgThreshold:  fs.Int("fgthreshold", 0, "util-threshold policy: admit BG only when at most this many FG jobs wait"),
+		deadlineRate: fs.Float64("deadlinerate", 0, "deadline policy: renege rate δ per waiting background job"),
 	}
 }
 
@@ -133,14 +141,18 @@ func (f modelFlags) request() (serve.SolveRequest, error) {
 		return serve.SolveRequest{}, fmt.Errorf("idlemult must be positive")
 	}
 	return serve.SolveRequest{
-		Workload:    *f.workload,
-		Utilization: *f.util,
-		BGProb:      *f.p,
-		BGBuffer:    f.buffer,
-		IdleMult:    *f.idleMult,
-		Policy:      *f.policy,
-		ServiceSCV:  *f.serviceSCV,
-		IdleSCV:     *f.idleSCV,
+		Workload:     *f.workload,
+		Utilization:  *f.util,
+		BGProb:       *f.p,
+		BGBuffer:     f.buffer,
+		IdleMult:     *f.idleMult,
+		Policy:       *f.policy,
+		ServiceSCV:   *f.serviceSCV,
+		IdleSCV:      *f.idleSCV,
+		ModFactor:    *f.modFactor,
+		BGAdmit:      *f.admit,
+		FGThreshold:  *f.fgThreshold,
+		DeadlineRate: *f.deadlineRate,
 	}, nil
 }
 
@@ -269,7 +281,7 @@ func cmdPlan(args []string, out io.Writer) error {
 		sloQLen    = fs.Float64("slo-qlen", 0, "SLO: mean foreground queue length bound (0 = unset)")
 		sloWaitP   = fs.Float64("slo-waitp", 0, "SLO: bound on the fraction of foreground arrivals delayed by background work (0 = unset)")
 		sloResp    = fs.Float64("slo-resp", 0, "SLO: mean foreground response time bound in ms (0 = unset)")
-		varName    = fs.String("var", "p", "decision variable: p (BG spawn probability), x (BG buffer), or alpha (idle rate)")
+		varName    = fs.String("var", "p", "decision variable: p (BG spawn probability), x (BG buffer), alpha (idle rate), or mod (minimum feasible modulation factor φ)")
 		tol        = fs.Float64("tol", 0, "convergence tolerance of the continuous searches (0 = planner default)")
 		maxIter    = fs.Int("maxiter", 0, "bisection iteration bound (0 = planner default)")
 		tracePath  = fs.String("trace", "", "fit the arrival process from this NDJSON trace instead of -workload")
@@ -355,7 +367,13 @@ func cmdPlan(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "fitted MMPP2 from %d trace samples: rate=%.6g scv=%.6g acf1=%.6g\n",
 			fitSamples, fitted.Rate(), fitted.SCV(), fitted.ACF(1))
 	}
-	fmt.Fprintf(out, "max sustainable %s   %12.6g", res.Var, res.Value)
+	frontier := "max sustainable"
+	if pv == bgperf.PlanModFactor {
+		// The φ search runs downward: its frontier is the deepest feasible
+		// modulation, and the bracket (if any) lies below it.
+		frontier = "min sustainable"
+	}
+	fmt.Fprintf(out, "%s %s   %12.6g", frontier, res.Var, res.Value)
 	if res.AtCap {
 		fmt.Fprintf(out, " (at the search cap: the SLO holds everywhere searched)")
 	}
@@ -408,17 +426,21 @@ func cmdSim(args []string, out io.Writer) error {
 		return err
 	}
 	simCfg := bgperf.SimConfig{
-		Arrival:     cfg.Arrival,
-		ServiceRate: cfg.ServiceRate,
-		Service:     cfg.Service,
-		BGProb:      cfg.BGProb,
-		BGBuffer:    cfg.BGBuffer,
-		IdleRate:    cfg.IdleRate,
-		IdleWait:    cfg.IdleWait,
-		IdlePolicy:  cfg.IdlePolicy,
-		Seed:        *seed,
-		WarmupTime:  *simTime / 20,
-		MeasureTime: *simTime,
+		Arrival:      cfg.Arrival,
+		ServiceRate:  cfg.ServiceRate,
+		Service:      cfg.Service,
+		BGProb:       cfg.BGProb,
+		BGBuffer:     cfg.BGBuffer,
+		IdleRate:     cfg.IdleRate,
+		IdleWait:     cfg.IdleWait,
+		IdlePolicy:   cfg.IdlePolicy,
+		ModFactor:    cfg.ModFactor,
+		BGAdmit:      cfg.BGAdmit,
+		FGThreshold:  cfg.FGThreshold,
+		DeadlineRate: cfg.DeadlineRate,
+		Seed:         *seed,
+		WarmupTime:   *simTime / 20,
+		MeasureTime:  *simTime,
 	}
 	if *detIdle {
 		simCfg.IdleDist = bgperf.IdleDeterministic

@@ -396,8 +396,8 @@ func TestCheckCommand(t *testing.T) {
 	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
 		t.Fatalf("invalid check JSON: %v", err)
 	}
-	if rep.Cases != 2 || rep.Comparisons != 8 {
-		t.Errorf("check JSON reports %d cases, %d comparisons; want 2, 8", rep.Cases, rep.Comparisons)
+	if rep.Cases != 2 || rep.Comparisons != 10 {
+		t.Errorf("check JSON reports %d cases, %d comparisons; want 2, 10 (5 paper metrics per case)", rep.Cases, rep.Comparisons)
 	}
 
 	diagPath := filepath.Join(t.TempDir(), "check-diag.json")

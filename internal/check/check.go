@@ -8,9 +8,9 @@
 // Three layers of checking, in increasing strictness:
 //
 //   - Statistical agreement: for every generated configuration the analytic
-//     solution of the four paper metrics (QLenFG, WaitPFG, CompBG, QLenBG)
-//     must fall inside a confidence-calibrated band around the replicated
-//     simulation estimate.
+//     solution of the paper metrics (QLenFG, WaitPFG, CompBG, QLenBG, and
+//     the scenario extension's DeadlineMissBG) must fall inside a
+//     confidence-calibrated band around the replicated simulation estimate.
 //   - Structural invariants, at numerical precision, on every solved point:
 //     stationary mass is 1, state-kind probabilities partition, the busy
 //     probability equals the offered load ρ = λ/µ, foreground throughput
@@ -101,18 +101,31 @@ func SolvedPoint(caseName string, model *core.Model, sol *core.Solution) []Viola
 		m.ProbEmpty+m.UtilFG+m.UtilBG+m.ProbIdleWait, 1, invariantTol)
 
 	// Rate identities. In steady state the server is FG-busy exactly a
-	// fraction ρ = λ/µ of the time, and the FG completion rate equals the
-	// arrival rate (nothing is dropped or lost in the FG class).
+	// fraction ρ = λ/µ of the time — when capacity is modulated (φ < 1) the
+	// server is slower while BG work is present, so FG-busy time can only
+	// grow and the exact identity relaxes to a lower bound. The FG
+	// completion rate equals the arrival rate either way (nothing is dropped
+	// or lost in the FG class, whatever the admission policy does to BG).
 	lambda := cfg.Arrival.Rate()
-	vs.add("busy-probability", "P(FG in service) must equal the offered load λ/µ",
-		m.UtilFG, model.FGUtilization(), invariantTol)
+	if cfg.ModFactor == 1 {
+		vs.add("busy-probability", "P(FG in service) must equal the offered load λ/µ",
+			m.UtilFG, model.FGUtilization(), invariantTol)
+	} else {
+		vs.assert("busy-probability-modulated",
+			fmt.Sprintf("P(FG in service) = %g must be at least the offered load %g under modulation",
+				m.UtilFG, model.FGUtilization()),
+			m.UtilFG >= model.FGUtilization()-invariantTol)
+	}
 	vs.add("fg-throughput", "FG completion rate must equal the arrival rate",
 		m.ThroughputFG, lambda, invariantTol)
 
-	// BG flow balance: completions are exactly the generated jobs that were
-	// not dropped, and CompBG is that surviving fraction.
-	vs.add("bg-flow-balance", "BG throughput must equal generation minus drops",
-		m.ThroughputBG, m.GenRateBG-m.DropRateBG, invariantTol)
+	// BG flow balance: completions are exactly the admitted jobs that did
+	// not renege, and CompBG is the non-dropped fraction of generated flow.
+	// The renege rate is DeadlineMissBG · admission rate (0 except under the
+	// deadline policy).
+	admitted := m.GenRateBG - m.DropRateBG
+	vs.add("bg-flow-balance", "BG throughput must equal generation minus drops minus reneges",
+		m.ThroughputBG, admitted*(1-m.DeadlineMissBG), invariantTol)
 	if m.GenRateBG > 0 {
 		vs.add("compBG-flow", "CompBG must be the non-dropped fraction of generated flow",
 			m.CompBG, 1-m.DropRateBG/m.GenRateBG, invariantTol)
@@ -122,12 +135,23 @@ func SolvedPoint(caseName string, model *core.Model, sol *core.Solution) []Viola
 	}
 
 	// Little's law for both classes. The FG population sees arrival rate λ;
-	// the BG population sees the admission rate (= completion rate in steady
-	// state).
+	// the BG population sees the admission rate (which exceeds the
+	// completion rate exactly by the renege flow under the deadline policy).
 	vs.add("littles-law-fg", "QLenFG must equal RespTimeFG × FG throughput",
 		m.RespTimeFG*m.ThroughputFG, m.QLenFG, invariantTol)
-	vs.add("littles-law-bg", "QLenBG must equal RespTimeBG × BG throughput",
-		m.RespTimeBG*m.ThroughputBG, m.QLenBG, invariantTol)
+	vs.add("littles-law-bg", "QLenBG must equal RespTimeBG × BG admission rate",
+		m.RespTimeBG*admitted, m.QLenBG, invariantTol)
+
+	// DeadlineMissBG is a fraction of admitted flow under the deadline
+	// policy and identically zero under every other policy.
+	if cfg.BGAdmit == core.AdmitDeadline {
+		vs.assert("deadline-miss-range",
+			fmt.Sprintf("DeadlineMissBG = %g must lie in [0,1]", m.DeadlineMissBG),
+			m.DeadlineMissBG >= -invariantTol && m.DeadlineMissBG <= 1+invariantTol)
+	} else {
+		vs.add("deadline-miss-degenerate", "DeadlineMissBG must be exactly 0 off the deadline policy",
+			m.DeadlineMissBG, 0, 0)
+	}
 
 	// Ranges: probabilities and ratios live in [0,1], queue lengths and
 	// rates are nonnegative and finite, and the BG queue fits its buffer

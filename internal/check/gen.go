@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"bgperf/internal/arrival"
@@ -88,17 +89,51 @@ func (g *Generator) Next() Case {
 		policy = core.IdleWaitPerPeriod
 	}
 
+	// Capacity modulation in one case out of three. φ is drawn above
+	// util/0.7 so the modulated system stays comfortably stable even if BG
+	// work were present all the time (λ/(φµ) ≤ 0.7), which also keeps the
+	// simulation windows convergent.
+	phi := 1.0
+	if g.rng.Intn(3) == 0 {
+		phi = g.uniform(math.Min(0.95, util/0.7), 1)
+	}
+
+	// Admission policy: 1 in 6 util-threshold, 1 in 6 deadline, the rest
+	// blind. The deadline rate stays moderate so the renege flow is a
+	// visible but not dominant fraction of the admitted flow.
+	admit := core.AdmitAll
+	fgThreshold := 0
+	deadlineRate := 0.0
+	extras := ""
+	switch g.rng.Intn(6) {
+	case 0:
+		admit = core.AdmitUtilThreshold
+		fgThreshold = g.rng.Intn(4)
+		extras = fmt.Sprintf(",util-K=%d", fgThreshold)
+	case 1:
+		admit = core.AdmitDeadline
+		deadlineRate = g.uniform(0.05, 0.5)
+		extras = fmt.Sprintf(",dl=%.2f", deadlineRate)
+	}
+	if phi != 1 {
+		extras += fmt.Sprintf(",phi=%.2f", phi)
+	}
+
 	cfg := core.Config{
-		Arrival:     arr,
-		ServiceRate: 1,
-		BGProb:      p,
-		BGBuffer:    x,
-		IdleRate:    alpha,
-		IdlePolicy:  policy,
+		Arrival:      arr,
+		ServiceRate:  1,
+		BGProb:       p,
+		BGBuffer:     x,
+		IdleRate:     alpha,
+		IdlePolicy:   policy,
+		ModFactor:    phi,
+		BGAdmit:      admit,
+		FGThreshold:  fgThreshold,
+		DeadlineRate: deadlineRate,
 	}
 	return Case{
-		Name: fmt.Sprintf("case%03d[%s,util=%.2f,p=%.2f,X=%d,a=%.2f,%s]",
-			idx, kind, util, p, x, alpha, policy),
+		Name: fmt.Sprintf("case%03d[%s,util=%.2f,p=%.2f,X=%d,a=%.2f,%s%s]",
+			idx, kind, util, p, x, alpha, policy, extras),
 		Cfg: cfg,
 	}
 }
@@ -107,17 +142,21 @@ func (g *Generator) Next() Case {
 // simulation configuration with the given seed and measurement windows.
 func SimConfig(cfg core.Config, seed int64, warmup, measure float64) sim.Config {
 	return sim.Config{
-		Arrival:     cfg.Arrival,
-		ServiceRate: cfg.ServiceRate,
-		Service:     cfg.Service,
-		ServiceMAP:  cfg.ServiceMAP,
-		BGProb:      cfg.BGProb,
-		BGBuffer:    cfg.BGBuffer,
-		IdleRate:    cfg.IdleRate,
-		IdleWait:    cfg.IdleWait,
-		IdlePolicy:  cfg.IdlePolicy,
-		Seed:        seed,
-		WarmupTime:  warmup,
-		MeasureTime: measure,
+		Arrival:      cfg.Arrival,
+		ServiceRate:  cfg.ServiceRate,
+		Service:      cfg.Service,
+		ServiceMAP:   cfg.ServiceMAP,
+		BGProb:       cfg.BGProb,
+		BGBuffer:     cfg.BGBuffer,
+		IdleRate:     cfg.IdleRate,
+		IdleWait:     cfg.IdleWait,
+		IdlePolicy:   cfg.IdlePolicy,
+		ModFactor:    cfg.ModFactor,
+		BGAdmit:      cfg.BGAdmit,
+		FGThreshold:  cfg.FGThreshold,
+		DeadlineRate: cfg.DeadlineRate,
+		Seed:         seed,
+		WarmupTime:   warmup,
+		MeasureTime:  measure,
 	}
 }

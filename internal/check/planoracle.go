@@ -7,6 +7,7 @@ import (
 
 	"bgperf/internal/core"
 	"bgperf/internal/plan"
+	"bgperf/internal/qbd"
 )
 
 // planSlack bounds how far below a known-feasible value the planner's
@@ -35,11 +36,11 @@ const planCases = 16
 //     with background disabled) returns ErrInfeasible — never a silently
 //     clamped frontier.
 //
-// The decision variable cycles p → X → α across cases, so every search mode
-// is exercised each run. At most planCases cases are checked (n permitting).
-// It returns the violations and the number of invariant checks performed;
-// the error reports harness-level failures (canceled context, a generated
-// config the forward solver rejects), not oracle verdicts.
+// The decision variable cycles p → X → α → φ across cases, so every search
+// mode is exercised each run. At most planCases cases are checked (n
+// permitting). It returns the violations and the number of invariant checks
+// performed; the error reports harness-level failures (canceled context, a
+// generated config the forward solver rejects), not oracle verdicts.
 func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -48,7 +49,7 @@ func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, er
 		n = planCases
 	}
 	gen := NewGenerator(seed)
-	vars := []plan.Var{plan.VarBGProb, plan.VarBGBuffer, plan.VarIdleRate}
+	vars := []plan.Var{plan.VarBGProb, plan.VarBGBuffer, plan.VarIdleRate, plan.VarModFactor}
 	var list []Violation
 	invariants := 0
 	for i := 0; i < n; i++ {
@@ -58,6 +59,26 @@ func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, er
 		c := gen.Next()
 		v := vars[i%len(vars)]
 		vs := &violations{caseName: fmt.Sprintf("plan[%s]-%s", v, c.Name)}
+
+		// The p/X/α searches rely on the BASELINE comparative statics
+		// (QLenFG monotone in each variable's aggressive direction), which
+		// capacity modulation deliberately breaks — under φ < 1 a slower
+		// idle rate can lengthen the FG queue by keeping BG work, and with
+		// it the slowdown, in the system longer. The oracle therefore
+		// normalizes the scenario fields out of the generated case and
+		// exercises φ through its own dedicated search leg, which needs no
+		// such assumption (QLenFG IS monotone in φ with everything else
+		// fixed). The generated φ doubles as that leg's known-feasible
+		// point.
+		phiGen := c.Cfg.ModFactor
+		if phiGen == 0 || phiGen == 1 {
+			phiGen = 0.8
+		}
+		c.Cfg.ModFactor, c.Cfg.BGAdmit = 1, core.AdmitAll
+		c.Cfg.FGThreshold, c.Cfg.DeadlineRate = 0, 0
+		if v == plan.VarModFactor {
+			c.Cfg.ModFactor = phiGen
+		}
 
 		genVal := generatedValue(c.Cfg, v)
 		base, err := solveConfig(c.Cfg)
@@ -76,13 +97,22 @@ func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, er
 			continue
 		}
 
-		// The generated value is feasible by construction, so the searched
-		// maximum cannot land below it (beyond the convergence bracket).
+		// The generated value is feasible by construction, so the search
+		// cannot land on its infeasible side (beyond the convergence
+		// bracket) — below it for the maximum-seeking variables, above it
+		// for the downward φ search.
 		invariants++
-		vs.assert("plan-covers-feasible",
-			fmt.Sprintf("frontier %s = %g must not be below the known-feasible %g",
-				v, res.Value, genVal),
-			res.Value >= feasibleFloor(v, genVal))
+		if v == plan.VarModFactor {
+			vs.assert("plan-covers-feasible",
+				fmt.Sprintf("frontier %s = %g must not be above the known-feasible %g",
+					v, res.Value, genVal),
+				res.Value <= genVal+planSlack)
+		} else {
+			vs.assert("plan-covers-feasible",
+				fmt.Sprintf("frontier %s = %g must not be below the known-feasible %g",
+					v, res.Value, genVal),
+				res.Value >= feasibleFloor(v, genVal))
+		}
 
 		// Independent re-solve at the frontier: the deterministic forward
 		// solver must reproduce the reported metrics and satisfy the SLO.
@@ -98,11 +128,21 @@ func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, er
 				slo.QLenFG, v, res.Value, front.QLenFG),
 			slo.Holds(front))
 
-		// The bracket is the smallest value the search proved infeasible; an
+		// The bracket is the nearest value the search proved infeasible —
+		// above the frontier for the maximum searches, below it for φ; an
 		// at-cap result proved nothing infeasible and must carry no bracket.
 		invariants++
 		if res.AtCap {
 			vs.add("plan-bracket-atcap", "an at-cap result must carry no bracket", res.Bracket, 0, 0)
+		} else if v == plan.VarModFactor {
+			brk, ok, err := resolveModBracket(c.Cfg, slo, res.Bracket)
+			if err != nil {
+				return nil, invariants, fmt.Errorf("check: plan oracle bracket solve %s: %w", vs.caseName, err)
+			}
+			vs.assert("plan-bracket-violates",
+				fmt.Sprintf("SLO (QLenFG <= %g) must be violated at the bracket %s = %g (got QLenFG %g)",
+					slo.QLenFG, v, res.Bracket, brk.QLenFG),
+				res.Bracket < res.Value && !ok)
 		} else {
 			brk, err := solveConfig(withPlanVar(c.Cfg, v, res.Bracket))
 			if err != nil {
@@ -114,11 +154,17 @@ func PlanInversion(ctx context.Context, n int, seed int64) ([]Violation, int, er
 				res.Bracket > res.Value && !slo.Holds(brk))
 		}
 
-		// Unreachable SLO: half the queue length with background disabled is
-		// below the variable's reachable minimum, so the planner must report
-		// ErrInfeasible — never clamp to an endpoint and call it a plan.
+		// Unreachable SLO: half the queue length at the variable's
+		// least-aggressive endpoint (background disabled, or φ = 1 for the
+		// downward modulation search) is below its reachable minimum, so the
+		// planner must report ErrInfeasible — never clamp to an endpoint and
+		// call it a plan.
 		zero := c.Cfg
-		zero.BGProb = 0
+		if v == plan.VarModFactor {
+			zero.ModFactor = 1
+		} else {
+			zero.BGProb = 0
+		}
 		floor, err := solveConfig(zero)
 		if err != nil {
 			return nil, invariants, fmt.Errorf("check: plan oracle floor solve %s: %w", c.Name, err)
@@ -143,6 +189,8 @@ func generatedValue(cfg core.Config, v plan.Var) float64 {
 		return float64(cfg.BGBuffer)
 	case plan.VarIdleRate:
 		return cfg.IdleRate
+	case plan.VarModFactor:
+		return cfg.ModFactor
 	default:
 		return cfg.BGProb
 	}
@@ -156,10 +204,26 @@ func withPlanVar(cfg core.Config, v plan.Var, val float64) core.Config {
 		cfg.BGBuffer = int(val)
 	case plan.VarIdleRate:
 		cfg.IdleRate = val
+	case plan.VarModFactor:
+		cfg.ModFactor = val
 	default:
 		cfg.BGProb = val
 	}
 	return cfg
+}
+
+// resolveModBracket forward-solves the φ bracket, treating a saturated model
+// as a (vacuously confirmed) SLO violation: deep modulation can push the
+// chain past stability, and the planner counts such candidates infeasible.
+func resolveModBracket(cfg core.Config, slo plan.SLO, bracket float64) (core.Metrics, bool, error) {
+	m, err := solveConfig(withPlanVar(cfg, plan.VarModFactor, bracket))
+	if err != nil {
+		if errors.Is(err, qbd.ErrUnstable) {
+			return core.Metrics{}, false, nil
+		}
+		return core.Metrics{}, false, err
+	}
+	return m, slo.Holds(m), nil
 }
 
 // feasibleFloor is the lowest frontier the search may report when genVal is

@@ -118,6 +118,7 @@ var paperMetrics = []struct {
 	{"waitPFG", func(m core.Metrics) float64 { return m.WaitPFG }},
 	{"compBG", func(m core.Metrics) float64 { return m.CompBG }},
 	{"qlenBG", func(m core.Metrics) float64 { return m.QLenBG }},
+	{"deadlineMissBG", func(m core.Metrics) float64 { return m.DeadlineMissBG }},
 }
 
 // Run executes the conformance harness: the exact-oracle suites once, then
@@ -138,6 +139,12 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	// Exact bookkeeping matters less than a nonzero denominator for the
 	// summary; tally what the suites actually inspected.
 	rep.Invariants += 6*9 + 2*7 + (len([]float64{0, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9})-1)*2 + 8
+
+	rep.Violations = append(rep.Violations, ScenarioOracles()...)
+	// ScenarioOracles: 16 degenerate φ=1 identities (15 metrics + key), a
+	// 5-point φ sweep (4 steps), 15 huge-K identities, and a 4-point δ sweep
+	// (4 positivity + 3·2 monotone steps).
+	rep.Invariants += 16 + 4 + 15 + 4 + 6
 
 	// Plan-inversion oracle: the inverse solver must round-trip against the
 	// forward solver on its own case stream (seed offset keeps it independent
@@ -165,7 +172,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}
 		vs := SolvedPoint(c.Name, model, sol)
 		rep.Violations = append(rep.Violations, vs...)
-		rep.Invariants += 25 // checks per solved point in SolvedPoint
+		rep.Invariants += 26 // checks per solved point in SolvedPoint
 
 		// Independent simulation: give every case its own seed region far
 		// from the others so replication streams never overlap.

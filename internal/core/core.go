@@ -69,6 +69,57 @@ func ParseIdleWaitPolicy(s string) (IdleWaitPolicy, error) {
 	}
 }
 
+// BGAdmission selects how BG jobs generated at FG completions are admitted
+// into the buffer — the paper's blind admit-if-space policy or one of the
+// smart background schedulers of Kachmar's follow-up work.
+type BGAdmission int
+
+const (
+	// AdmitAll admits every generated BG job that finds buffer space — the
+	// paper's blind policy and the default.
+	AdmitAll BGAdmission = iota + 1
+	// AdmitUtilThreshold admits a generated BG job only when, besides buffer
+	// space, the foreground backlog the completing job leaves behind is at
+	// most FGThreshold jobs: BG work is accepted only while the system looks
+	// lightly utilized. Denied jobs are dropped (counted in DropRateBG).
+	AdmitUtilThreshold
+	// AdmitDeadline admits every generated BG job that finds buffer space
+	// (like AdmitAll) but attaches an exponential deadline with rate
+	// DeadlineRate to each *waiting* BG job: a job whose deadline expires
+	// before its service starts reneges and leaves. The DeadlineMissBG
+	// metric reports the fraction of admitted jobs lost this way.
+	AdmitDeadline
+)
+
+func (a BGAdmission) String() string {
+	switch a {
+	case AdmitAll:
+		return "all"
+	case AdmitUtilThreshold:
+		return "util-threshold"
+	case AdmitDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("BGAdmission(%d)", int(a))
+	}
+}
+
+// ParseBGAdmission is the inverse of BGAdmission.String. The empty string
+// maps to AdmitAll so optional CLI flags and JSON fields default cleanly;
+// anything else unknown returns a typed *ValidationError.
+func ParseBGAdmission(s string) (BGAdmission, error) {
+	switch s {
+	case "", "all":
+		return AdmitAll, nil
+	case "util-threshold":
+		return AdmitUtilThreshold, nil
+	case "deadline":
+		return AdmitDeadline, nil
+	default:
+		return 0, NewValidationError(ErrConfig, "BGAdmit", "unknown BG admission policy %q (want all, util-threshold, or deadline)", s)
+	}
+}
+
 // Config parameterizes the FG/BG model.
 type Config struct {
 	// Arrival is the FG arrival process (MMPP in the paper).
@@ -107,11 +158,34 @@ type Config struct {
 	// IdlePolicy selects the idle-wait re-arming semantics; zero value
 	// means IdleWaitPerJob.
 	IdlePolicy IdleWaitPolicy
+	// ModFactor is the capacity-modulation factor φ ∈ (0, 1]: while any BG
+	// work is in the system (in service or waiting) the server runs at rate
+	// φ·µ instead of µ — Marin–Mitrani's speed-modulated FG-BG model, where
+	// background activity degrades foreground capacity. Zero means 1 (no
+	// modulation), the paper's fixed-capacity server.
+	ModFactor float64
+	// BGAdmit selects the BG admission policy; zero value means AdmitAll.
+	BGAdmit BGAdmission
+	// FGThreshold is the utilization threshold K of AdmitUtilThreshold: a
+	// generated BG job is admitted only when at most K foreground jobs
+	// remain behind the completing one. Must be 0 unless BGAdmit is
+	// AdmitUtilThreshold.
+	FGThreshold int
+	// DeadlineRate is the renege rate δ of AdmitDeadline: each waiting BG
+	// job independently abandons after an exponential deadline with rate δ.
+	// Required positive exactly when BGAdmit is AdmitDeadline.
+	DeadlineRate float64
 }
 
 func (c Config) withDefaults() Config {
 	if c.IdlePolicy == 0 {
 		c.IdlePolicy = IdleWaitPerJob
+	}
+	if c.ModFactor == 0 {
+		c.ModFactor = 1
+	}
+	if c.BGAdmit == 0 {
+		c.BGAdmit = AdmitAll
 	}
 	return c
 }
@@ -136,6 +210,18 @@ func (c Config) validate() error {
 		return NewValidationError(ErrConfig, "IdleRate", "idle rate %g must be positive when the BG buffer is nonempty", c.IdleRate)
 	case c.IdlePolicy != IdleWaitPerJob && c.IdlePolicy != IdleWaitPerPeriod:
 		return NewValidationError(ErrConfig, "IdlePolicy", "unknown idle-wait policy %d", int(c.IdlePolicy))
+	case !(c.ModFactor > 0 && c.ModFactor <= 1):
+		return NewValidationError(ErrConfig, "ModFactor", "modulation factor %g must lie in (0,1]", c.ModFactor)
+	case c.BGAdmit != AdmitAll && c.BGAdmit != AdmitUtilThreshold && c.BGAdmit != AdmitDeadline:
+		return NewValidationError(ErrConfig, "BGAdmit", "unknown BG admission policy %d", int(c.BGAdmit))
+	case c.FGThreshold < 0:
+		return NewValidationError(ErrConfig, "FGThreshold", "FG threshold %d must be nonnegative", c.FGThreshold)
+	case c.FGThreshold != 0 && c.BGAdmit != AdmitUtilThreshold:
+		return NewValidationError(ErrConfig, "FGThreshold", "FG threshold requires the util-threshold admission policy")
+	case c.BGAdmit == AdmitDeadline && c.DeadlineRate <= 0:
+		return NewValidationError(ErrConfig, "DeadlineRate", "deadline rate %g must be positive with the deadline admission policy", c.DeadlineRate)
+	case c.BGAdmit != AdmitDeadline && c.DeadlineRate != 0:
+		return NewValidationError(ErrConfig, "DeadlineRate", "deadline rate requires the deadline admission policy")
 	}
 	return nil
 }
@@ -227,12 +313,31 @@ type Model struct {
 	vOff           *mat.Matrix // I_A ⊗ I_S ⊗ offdiag(V): idle-stage moves
 	idleGo         *mat.Matrix // I_A ⊗ 1β ⊗ v e₀: idle expiry starts BG service
 
+	// Capacity modulation (ModFactor φ < 1): while BG work is in the system
+	// the server runs at φ·µ, so every service-derived kernel out of a
+	// modulated block (x ≥ 1) is the baseline kernel scaled by φ. When
+	// φ = 1 the modulated fields alias the baseline ones, which keeps the
+	// degenerate model bit-identical to the baseline chain.
+	tOffMod *mat.Matrix // φ · tOff
+
+	// Deadline reneging (AdmitDeadline): each waiting BG job abandons at
+	// rate δ, a down transition that preserves the arrival and service
+	// phases. renegeServe[w] = w·δ·(I_A ⊗ I_S ⊗ collapse) serves blocks
+	// whose idle stage is parked (FG/BG service, and the x = 1 idle-wait
+	// exit to Empty); renegeIdle[w] = w·δ·(I_A ⊗ I_S ⊗ I_W) preserves a
+	// running idle-wait stage. Both are nil unless the policy is active.
+	renegeServe []*mat.Matrix
+	renegeIdle  []*mat.Matrix
+
 	rateVec []float64 // per-composite-state arrival rates (D1 row sums)
 	exitVec []float64 // per-composite-state service completion rates
 
 	// complCache holds the precomputed completion-rate matrices
 	// [target][prob] for prob ∈ {1, p, 1−p}; see completionRate.
-	complCache [3][3]*mat.Matrix
+	// complCacheMod is the φ-scaled variant used out of modulated blocks
+	// (aliasing complCache when φ = 1).
+	complCache    [3][3]*mat.Matrix
+	complCacheMod [3][3]*mat.Matrix
 
 	// blockLayout[j] caches levelBlocks(j) for the boundary levels
 	// j = 0..xEff; repLayout is the shared layout of every repeating level
@@ -246,6 +351,13 @@ type Model struct {
 	// cfg.BGBuffer except when BGProb = 0, where BG and idle-wait states are
 	// unreachable and are pruned to keep the phase process irreducible.
 	xEff int
+
+	// boundaryTop is the last level treated as a QBD boundary level. It
+	// equals xEff except under AdmitUtilThreshold, where admission depends
+	// on the foreground backlog K = FGThreshold: levels up to
+	// xEff + K + 1 can still admit BG jobs, and only above that is every
+	// admission uniformly denied, making the chain level-homogeneous.
+	boundaryTop int
 
 	// tuning is forwarded to the qbd.Process built by each solve.
 	tuning qbd.Tuning
@@ -414,6 +526,26 @@ func NewModel(cfg Config) (*Model, error) {
 	if idle != nil {
 		m.vOff = iA.Kron(iS).Kron(vOffW)
 		m.idleGo = iA.Kron(startS).Kron(vStop)
+	}
+	if phi := cfg.ModFactor; phi != 1 {
+		m.tOffMod = m.tOff.Clone().Scale(phi)
+	} else {
+		m.tOffMod = m.tOff
+	}
+	m.boundaryTop = xEff
+	if cfg.BGAdmit == AdmitUtilThreshold && xEff > 0 {
+		m.boundaryTop = xEff + cfg.FGThreshold + 1
+	}
+	if cfg.BGAdmit == AdmitDeadline && xEff > 0 {
+		paused := iA.Kron(iS).Kron(collapse)
+		pausedIdle := iA.Kron(iS).Kron(iW)
+		m.renegeServe = make([]*mat.Matrix, xEff+1)
+		m.renegeIdle = make([]*mat.Matrix, xEff+1)
+		for w := 1; w <= xEff; w++ {
+			rate := float64(w) * cfg.DeadlineRate
+			m.renegeServe[w] = scaled(paused, rate)
+			m.renegeIdle[w] = scaled(pausedIdle, rate)
+		}
 	}
 	m.buildComplCache()
 	m.blockLayout = make([][]block, xEff+1)

@@ -25,6 +25,14 @@ const (
 	keyTagIdleRate
 	keyTagIdlePH
 	keyTagIdlePolicy
+	// PR 10 scenario fields. Each is written only when it deviates from its
+	// default (φ = 1, AdmitAll), so every pre-existing configuration keeps
+	// its byte-identical key, and the tag prefix keeps a modulated or
+	// policy-carrying config from ever colliding with a baseline one.
+	keyTagModFactor
+	keyTagBGAdmit
+	keyTagFGThreshold
+	keyTagDeadlineRate
 )
 
 // KeySectionPlan tags the planner extension section appended by CacheKeyExt:
@@ -110,6 +118,18 @@ func hashConfig(h hash.Hash, cfg Config) error {
 		keyFloats(h, keyTagIdleRate, cfg.IdleRate)
 	}
 	keyInts(h, keyTagIdlePolicy, int64(cfg.IdlePolicy))
+	if cfg.ModFactor != 1 {
+		keyFloats(h, keyTagModFactor, cfg.ModFactor)
+	}
+	if cfg.BGAdmit != AdmitAll {
+		keyInts(h, keyTagBGAdmit, int64(cfg.BGAdmit))
+		switch cfg.BGAdmit {
+		case AdmitUtilThreshold:
+			keyInts(h, keyTagFGThreshold, int64(cfg.FGThreshold))
+		case AdmitDeadline:
+			keyFloats(h, keyTagDeadlineRate, cfg.DeadlineRate)
+		}
+	}
 	return nil
 }
 

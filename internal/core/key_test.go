@@ -85,6 +85,13 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"IdleRate":    func(c *Config) { c.IdleRate = 1.0 / 12 },
 		"IdleWait":    func(c *Config) { c.IdleRate = 0; c.IdleWait = ph },
 		"IdlePolicy":  func(c *Config) { c.IdlePolicy = IdleWaitPerPeriod },
+		"ModFactor":   func(c *Config) { c.ModFactor = 0.8 },
+		"BGAdmit":     func(c *Config) { c.BGAdmit = AdmitUtilThreshold },
+		"FGThreshold": func(c *Config) { c.BGAdmit = AdmitUtilThreshold; c.FGThreshold = 2 },
+		"DeadlineRate": func(c *Config) {
+			c.BGAdmit = AdmitDeadline
+			c.DeadlineRate = 0.5
+		},
 	}
 	for name, mutate := range mutations {
 		cfg := base
@@ -96,6 +103,94 @@ func TestCacheKeySensitivity(t *testing.T) {
 		if key == baseKey {
 			t.Errorf("changing %s did not change the cache key", name)
 		}
+	}
+}
+
+// TestCacheKeyPinnedStability pins the literal key bytes of pre-PR 10
+// configurations. The scenario fields (ModFactor, BGAdmit, FGThreshold,
+// DeadlineRate) are hashed only when they deviate from their defaults, so
+// every key minted before the fields existed must still verbatim: these
+// hex strings were captured from the CacheKey implementation before the
+// scenario fields were added, and any drift would orphan on-disk cas
+// entries and distributed cache state.
+func TestCacheKeyPinnedStability(t *testing.T) {
+	cfg := keyTestConfig(t)
+	key, err := CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantBase = "185d549102729fd83b5856d62b6a28702961a91479a75b31eea8b7f5270ff871"
+	if key != wantBase {
+		t.Errorf("pre-PR10 base key drifted:\n  got  %s\n  want %s", key, wantBase)
+	}
+	cfg.IdlePolicy = IdleWaitPerPeriod
+	key, err = CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantPeriod = "8ffb0f491ec71cd6ad161986bfd9f09b5589ba554a8bc50e5307706feee0b9d9"
+	if key != wantPeriod {
+		t.Errorf("pre-PR10 per-period key drifted:\n  got  %s\n  want %s", key, wantPeriod)
+	}
+}
+
+// TestCacheKeyScenarioDefaults pins that the explicit scenario defaults
+// (φ = 1, AdmitAll) hash identically to leaving the fields unset — the new
+// fields are written to the hash only when they carry information.
+func TestCacheKeyScenarioDefaults(t *testing.T) {
+	base := keyTestConfig(t)
+	implicit, err := CacheKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.ModFactor = 1
+	base.BGAdmit = AdmitAll
+	explicit, err := CacheKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != explicit {
+		t.Fatalf("explicit scenario defaults perturbed the key:\n  unset    %s\n  explicit %s", implicit, explicit)
+	}
+}
+
+// TestCacheKeyScenarioTagDisambiguation pins that the two policy payloads
+// cannot collide through their tag prefixes: a util-threshold config and a
+// deadline config whose scalar payloads share a bit pattern still hash
+// differently, and each policy differs from the baseline.
+func TestCacheKeyScenarioTagDisambiguation(t *testing.T) {
+	base := keyTestConfig(t)
+	util := base
+	util.BGAdmit = AdmitUtilThreshold
+	util.FGThreshold = 0
+	utilKey, err := CacheKey(util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := base
+	deadline.BGAdmit = AdmitDeadline
+	deadline.DeadlineRate = 1
+	deadlineKey, err := CacheKey(deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey, err := CacheKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utilKey == deadlineKey || utilKey == baseKey || deadlineKey == baseKey {
+		t.Fatalf("scenario policy keys collided: base %s, util %s, deadline %s", baseKey, utilKey, deadlineKey)
+	}
+	// The threshold payload must be sensitive even at its zero value versus
+	// a different K.
+	util2 := util
+	util2.FGThreshold = 1
+	util2Key, err := CacheKey(util2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util2Key == utilKey {
+		t.Fatal("FGThreshold 0 and 1 collided under util-threshold")
 	}
 }
 

@@ -53,6 +53,11 @@ type Metrics struct {
 	// RespTimeBG is the mean sojourn time of admitted background jobs
 	// (admission to completion), by Little's law over the BG population.
 	RespTimeBG float64 `json:"respTimeBG"`
+	// DeadlineMissBG is the fraction of admitted background jobs that
+	// renege — their exponential deadline (rate Config.DeadlineRate)
+	// expires before their service starts. Always 0 unless BGAdmit is
+	// AdmitDeadline.
+	DeadlineMissBG float64 `json:"deadlineMissBG"`
 }
 
 // Solution is a solved model: the metrics plus access to the underlying
@@ -104,7 +109,7 @@ func (m *Model) SolveObserved(o obs.Observer) (*Solution, error) {
 	if o != nil {
 		t0 = time.Now()
 	}
-	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.xEff + 1)}
+	s := &Solution{model: m, sol: qsol, repBlocks: m.levelBlocks(m.boundaryTop + 1)}
 	s.tail = qsol.TailSum()
 	s.tailW = qsol.TailWeightedSum()
 	s.tailW2 = qsol.TailSquareWeightedSum()
@@ -123,8 +128,8 @@ func (s *Solution) maskedMass(keep func(b block, level int) bool, weight func(b 
 	m := s.model
 	a := m.Phases()
 	total := 0.0
-	// Boundary levels 0..X.
-	for j := 0; j <= m.xEff; j++ {
+	// Boundary levels 0..boundaryTop.
+	for j := 0; j <= m.boundaryTop; j++ {
 		pi := s.sol.BoundaryPi[j]
 		for bi, b := range m.levelBlocks(j) {
 			if !keep(b, j) {
@@ -193,21 +198,38 @@ func (s *Solution) computeMetrics() {
 
 	// BG completion rate: BG jobs are generated at FG completion epochs — at
 	// per-state rate p·t_s with PH service — and dropped exactly when the
-	// buffer is already full, so CompBG is one minus the completion-rate-
-	// weighted probability of a full buffer among FG-serving states. For
-	// exponential service this reduces to 1 − P(x=X | FG serving).
+	// admission policy denies them (buffer full, or foreground backlog above
+	// the util threshold), so CompBG is one minus the completion-rate-
+	// weighted denial probability among FG-serving states. For exponential
+	// service under AdmitAll this reduces to 1 − P(x=X | FG serving).
+	// Modulated blocks (x ≥ 1) complete at φ·t_s, so their exit rates carry
+	// the φ factor; with φ = 1 the unweighted fast path keeps the baseline
+	// metric bit-identical.
 	exits := m.exitVec
 	exitWeight := func(_ block, _ int, ph int) float64 { return exits[ph] }
+	if phi := cfg.ModFactor; phi != 1 {
+		exitWeight = func(b block, _ int, ph int) float64 {
+			if b.x >= 1 {
+				return phi * exits[ph]
+			}
+			return exits[ph]
+		}
+	}
 	complFG := s.maskedMass(func(b block, _ int) bool { return b.kind == KindFG }, exitWeight)
-	complFGFull := s.maskedMass(
-		func(b block, _ int) bool { return b.kind == KindFG && b.x == cfg.BGBuffer },
-		exitWeight,
-	)
+	var complFGDenied float64
+	if cfg.BGProb > 0 {
+		complFGDenied = s.maskedMass(
+			func(b block, level int) bool {
+				return b.kind == KindFG && !m.admitBG(b.x, level-b.x-1)
+			},
+			exitWeight,
+		)
+	}
 	switch {
 	case cfg.BGProb == 0 || complFG <= 0:
 		s.CompBG = 1
 	default:
-		s.CompBG = 1 - complFGFull/complFG
+		s.CompBG = 1 - complFGDenied/complFG
 	}
 
 	// Fraction of FG arrivals that land during a BG service. MAP arrivals
@@ -229,7 +251,7 @@ func (s *Solution) computeMetrics() {
 	s.ThroughputBG = s.maskedMass(func(b block, _ int) bool { return b.kind == KindBG }, exitWeight)
 	s.GenRateBG = cfg.BGProb * complFG
 	if cfg.BGProb > 0 {
-		s.DropRateBG = cfg.BGProb * complFGFull
+		s.DropRateBG = cfg.BGProb * complFGDenied
 	}
 	// Little's law against the solved effective throughput, not the nominal
 	// arrival rate: the two agree only up to solver round-off, and using the
@@ -237,8 +259,22 @@ func (s *Solution) computeMetrics() {
 	if complFG > 0 {
 		s.RespTimeFG = s.QLenFG / complFG
 	}
-	if admitted := s.GenRateBG - s.DropRateBG; admitted > 0 {
+	admitted := s.GenRateBG - s.DropRateBG
+	if admitted > 0 {
 		s.RespTimeBG = s.QLenBG / admitted
+	}
+	if cfg.DeadlineRate > 0 && admitted > 0 {
+		// Renege flow: each waiting BG job (x minus the one in BG service)
+		// abandons at rate δ, so the loss rate is δ·E[waiting BG jobs] and
+		// the miss fraction is that rate over the admission rate.
+		waiting := s.maskedMass(all, func(b block, _, _ int) float64 {
+			w := b.x
+			if b.kind == KindBG {
+				w--
+			}
+			return float64(w)
+		})
+		s.DeadlineMissBG = cfg.DeadlineRate * waiting / admitted
 	}
 }
 
@@ -291,7 +327,7 @@ func (s *Solution) FGQueueDist(maxN int) []float64 {
 	a := m.Phases()
 	dist := make([]float64, maxN+1)
 	// Boundary levels.
-	for j := 0; j <= m.xEff; j++ {
+	for j := 0; j <= m.boundaryTop; j++ {
 		pi := s.sol.BoundaryPi[j]
 		for bi, b := range m.levelBlocks(j) {
 			y := j - b.x

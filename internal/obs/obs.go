@@ -95,6 +95,7 @@ type SimCounters struct {
 	DroppedBG       int64 `json:"droppedBG"`
 	CompletedBG     int64 `json:"completedBG"`
 	IdleExpirations int64 `json:"idleExpirations"`
+	RenegedBG       int64 `json:"renegedBG"`
 	// Events is the simulator's own count of events processed inside the
 	// measurement window (each event may bump several of the counters
 	// above).
@@ -109,7 +110,8 @@ func (c SimCounters) total() int64 {
 		return c.Events
 	}
 	return c.ArrivalsFG + c.CompletedFG + c.DelayedFG + c.GeneratedBG +
-		c.AdmittedBG + c.DroppedBG + c.CompletedBG + c.IdleExpirations
+		c.AdmittedBG + c.DroppedBG + c.CompletedBG + c.IdleExpirations +
+		c.RenegedBG
 }
 
 // add accumulates o into c.
@@ -122,6 +124,7 @@ func (c *SimCounters) add(o SimCounters) {
 	c.DroppedBG += o.DroppedBG
 	c.CompletedBG += o.CompletedBG
 	c.IdleExpirations += o.IdleExpirations
+	c.RenegedBG += o.RenegedBG
 	c.Events += o.Events
 }
 

@@ -5,20 +5,25 @@
 // work can the system admit before a foreground SLO breaks.
 //
 // The search exploits the monotonicity the conformance oracles prove
-// (internal/check: QLenFG non-decreasing in p and X, and FG interference
-// non-decreasing in the idle rate α): the feasible set of each decision
-// variable is an interval anchored at its least-aggressive endpoint, so
-// bisection over the fast analytic engine finds the frontier in a few dozen
-// solves. Continuous variables (p, α) bisect to a relative tolerance; the
-// integer buffer X binary-searches [0, MaxBuffer]. Every reported frontier
-// is an actually-solved feasible point — the search never extrapolates — and
-// the smallest evaluated infeasible value is reported as the bracket, so a
-// forward solve can independently confirm both sides of the frontier.
+// (internal/check: QLenFG non-decreasing in p and X, FG interference
+// non-decreasing in the idle rate α, and non-increasing in the modulation
+// factor φ): the feasible set of each decision variable is an interval
+// anchored at its least-aggressive endpoint, so bisection over the fast
+// analytic engine finds the frontier in a few dozen solves. Continuous
+// variables (p, α) bisect to a relative tolerance; the integer buffer X
+// binary-searches [0, MaxBuffer]; the modulation factor φ (PR 10) bisects
+// DOWNWARD over [ModFactorFloor, 1] to the minimum feasible value, since
+// its aggressive direction is toward deeper degradation. Every reported
+// frontier is an actually-solved feasible point — the search never
+// extrapolates — and the infeasible side of the final bracket is reported,
+// so a forward solve can independently confirm both sides of the frontier.
 //
-// An SLO that fails even at the least-aggressive endpoint (p = 0, X = 0, or
-// a vanishing α) is reported with ErrInfeasible, never silently clamped;
-// a saturated foreground load (qbd.ErrUnstable) is likewise infeasible,
-// since stability is independent of all three decision variables.
+// An SLO that fails even at the least-aggressive endpoint (p = 0, X = 0, a
+// vanishing α, or φ = 1) is reported with ErrInfeasible, never silently
+// clamped. A saturated foreground load (qbd.ErrUnstable) is likewise
+// infeasible for p, X, and α, whose values cannot affect stability; for the
+// φ search — where a deep modulation CAN saturate an otherwise stable
+// model — a saturated candidate is just an infeasible point.
 package plan
 
 import (
@@ -59,6 +64,11 @@ const (
 	// between idle expiry and service) without changing any answer.
 	alphaLoFrac = 1e-3
 	alphaHiFrac = 1024
+	// ModFactorFloor bounds the modulation-factor search from below: a
+	// server degraded to 5% of its capacity while background work is present
+	// is already far beyond any regime the paper's scenarios consider, and
+	// smaller factors mostly produce saturated (unstable) models anyway.
+	ModFactorFloor = 0.05
 )
 
 // Var selects the decision variable of the inverse search.
@@ -74,6 +84,14 @@ const (
 	// wait, more aggressive background admission) over a multiplicative
 	// window around the service rate.
 	VarIdleRate
+	// VarModFactor searches the capacity-modulation factor φ over
+	// [ModFactorFloor, 1]. Unlike the other variables its aggressive
+	// direction points down — smaller φ degrades the foreground harder — so
+	// the search finds the MINIMUM feasible φ: the deepest modulation the
+	// SLO tolerates. Value is that minimum, Bracket the largest evaluated
+	// infeasible φ below it, and AtCap means even ModFactorFloor is
+	// feasible.
+	VarModFactor
 )
 
 // String returns the CLI/JSON spelling: "p", "x", or "alpha".
@@ -85,13 +103,15 @@ func (v Var) String() string {
 		return "x"
 	case VarIdleRate:
 		return "alpha"
+	case VarModFactor:
+		return "mod"
 	default:
 		return fmt.Sprintf("Var(%d)", int(v))
 	}
 }
 
-// ParseVar maps "p" / "x" / "alpha" back to the variable constants (the
-// inverse of Var.String). The empty string means the default, VarBGProb.
+// ParseVar maps "p" / "x" / "alpha" / "mod" back to the variable constants
+// (the inverse of Var.String). The empty string means the default, VarBGProb.
 func ParseVar(s string) (Var, error) {
 	switch strings.ToLower(s) {
 	case "", "p":
@@ -100,9 +120,11 @@ func ParseVar(s string) (Var, error) {
 		return VarBGBuffer, nil
 	case "alpha", "a", "idlerate":
 		return VarIdleRate, nil
+	case "mod", "phi", "modfactor":
+		return VarModFactor, nil
 	default:
 		return 0, core.NewValidationError(core.ErrConfig, "var",
-			"unknown decision variable %q (want p | x | alpha)", s)
+			"unknown decision variable %q (want p | x | alpha | mod)", s)
 	}
 }
 
@@ -243,12 +265,14 @@ type Result struct {
 	// Value is the maximum feasible value found: the SLO holds at the
 	// forward solve of this exact point.
 	Value float64 `json:"value"`
-	// AtCap reports that the SLO holds at the domain maximum (p = 1,
-	// X = MaxBuffer, or the top of the α window), so Value is the cap
-	// rather than a constraint frontier and Bracket is 0.
+	// AtCap reports that the SLO holds at the most aggressive end of the
+	// domain (p = 1, X = MaxBuffer, the top of the α window, or — for the
+	// downward-searching "mod" variable — ModFactorFloor), so Value is that
+	// cap rather than a constraint frontier and Bracket is 0.
 	AtCap bool `json:"atCap"`
-	// Bracket is the smallest evaluated value at which the SLO failed — the
-	// infeasible side of the final bisection bracket (0 when AtCap). A
+	// Bracket is the infeasible side of the final bisection bracket (0 when
+	// AtCap): the smallest evaluated value at which the SLO failed, or for
+	// the "mod" variable the largest evaluated infeasible φ below Value. A
 	// forward solve at Bracket independently confirms the frontier.
 	Bracket float64 `json:"bracket"`
 	// Iterations counts bisection steps.
@@ -292,6 +316,8 @@ func CacheKey(cfg core.Config, slo SLO, opts Options) (string, error) {
 		norm.BGBuffer = 0
 	case VarIdleRate:
 		norm.IdleRate = 1
+	case VarModFactor:
+		norm.ModFactor = 0
 	}
 	return core.CacheKeyExt(norm, core.KeySectionPlan,
 		[]int64{int64(opts.Var), int64(opts.MaxIter)},
@@ -313,6 +339,8 @@ func validateVar(cfg core.Config, v Var) error {
 				"idle-rate search requires an exponential idle wait (IdleRate), not a phase-type IdleWait")
 		}
 		return nil
+	case VarModFactor:
+		return nil
 	default:
 		return core.NewValidationError(core.ErrConfig, "Var",
 			"unknown decision variable %d", int(v))
@@ -328,13 +356,14 @@ type searcher struct {
 	solves int
 }
 
-// Maximize finds the maximum value of the decision variable opts.Var at
-// which cfg still meets slo, by bisection (p, α) or integer binary search
-// (X) over forward analytic solves. It returns ErrInfeasible (wrapped, with
-// the violated bound named) when even the least-aggressive endpoint fails,
-// and a *core.ValidationError for invalid SLOs, configs, or variable/config
-// combinations. The result's Value is always a point that was actually
-// solved and found feasible.
+// Maximize finds the most aggressive value of the decision variable
+// opts.Var at which cfg still meets slo, by bisection (p, α), integer binary
+// search (X), or downward bisection (mod, whose aggressive direction is
+// toward smaller φ) over forward analytic solves. It returns ErrInfeasible
+// (wrapped, with the violated bound named) when even the least-aggressive
+// endpoint fails, and a *core.ValidationError for invalid SLOs, configs, or
+// variable/config combinations. The result's Value is always a point that
+// was actually solved and found feasible.
 func Maximize(cfg core.Config, slo SLO, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := slo.Validate(); err != nil {
@@ -353,9 +382,12 @@ func Maximize(cfg core.Config, slo SLO, opts Options) (*Result, error) {
 		res *Result
 		err error
 	)
-	if opts.Var == VarBGBuffer {
+	switch opts.Var {
+	case VarBGBuffer:
 		res, err = s.searchInt()
-	} else {
+	case VarModFactor:
+		res, err = s.searchContMin()
+	default:
 		res, err = s.searchCont()
 	}
 	if err != nil {
@@ -416,6 +448,8 @@ func evalAt(cfg core.Config, slo SLO, opts Options, val float64) (core.Metrics, 
 		cfg.BGBuffer = int(math.Round(val))
 	case VarIdleRate:
 		cfg.IdleRate = val
+	case VarModFactor:
+		cfg.ModFactor = val
 	}
 	model, err := core.NewModel(cfg)
 	if err != nil {
@@ -425,6 +459,13 @@ func evalAt(cfg core.Config, slo SLO, opts Options, val float64) (core.Metrics, 
 	sol, err := model.SolveObserved(opts.Observer)
 	if err != nil {
 		if errors.Is(err, qbd.ErrUnstable) {
+			if opts.Var == VarModFactor {
+				// Stability DOES depend on φ: a deep modulation can saturate
+				// a model that is comfortably stable at φ = 1. A saturated
+				// candidate is simply an infeasible point of the search, not
+				// a verdict on the whole domain.
+				return core.Metrics{}, false, nil
+			}
 			return core.Metrics{}, false, fmt.Errorf(
 				"%w: foreground load alone saturates the server: %v", ErrInfeasible, err)
 		}
@@ -472,6 +513,48 @@ func (s *searcher) searchCont() (*Result, error) {
 		iters++
 	}
 	return &Result{Value: lo, Bracket: hi, Iterations: iters, Metrics: mLo}, nil
+}
+
+// searchContMin bisects the modulation factor downward: the feasible set is
+// an interval anchored at φ = 1 (no modulation), so the search maintains the
+// reversed invariant hi feasible / lo infeasible and converges on the
+// minimum feasible φ. ErrInfeasible means the SLO fails even with the
+// modulation disabled; AtCap means even ModFactorFloor meets it.
+func (s *searcher) searchContMin() (*Result, error) {
+	lo, hi := ModFactorFloor, 1.0
+	mHi, okHi, err := s.eval(hi)
+	if err != nil {
+		return nil, err
+	}
+	if !okHi {
+		return nil, fmt.Errorf("%w: %s even with modulation disabled (%s = 1)",
+			ErrInfeasible, s.slo.violation(mHi), s.opts.Var)
+	}
+	mLo, okLo, err := s.eval(lo)
+	if err != nil {
+		return nil, err
+	}
+	if okLo {
+		return &Result{Value: lo, AtCap: true, Metrics: mLo}, nil
+	}
+	iters := 0
+	for iters < s.opts.MaxIter && hi-lo > s.opts.Tol {
+		mid := (lo + hi) / 2
+		if !(mid > lo && mid < hi) {
+			break // bracket exhausted at float resolution
+		}
+		m, ok, err := s.eval(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi, mHi = mid, m
+		} else {
+			lo = mid
+		}
+		iters++
+	}
+	return &Result{Value: hi, Bracket: lo, Iterations: iters, Metrics: mHi}, nil
 }
 
 // converged reports whether the bracket is within tolerance.
@@ -573,6 +656,10 @@ func (s *searcher) neighborValues(res *Result) []float64 {
 		lo, hi := s.domain()
 		cands = []float64{v / 1.05, v * 1.05}
 		return clampVals(cands, v, lo, hi)
+	case VarModFactor:
+		step := math.Max(0.05*v, s.opts.Tol)
+		cands = []float64{v - step, v + step}
+		return clampVals(cands, v, ModFactorFloor, 1)
 	default:
 		step := math.Max(0.05*v, s.opts.Tol)
 		cands = []float64{v - step, v + step}

@@ -159,12 +159,165 @@ func (p *Process) computeDrift() {
 		var err error
 		phi, err = markov.StationaryCTMC(a)
 		if err != nil {
-			p.driftErr = fmt.Errorf("qbd: drift: %w", err)
+			// A with several closed classes (e.g. a chain whose repeating
+			// region freezes part of the phase, as under the util-threshold
+			// admission policy) has no unique stationary vector. The level
+			// process can dwell arbitrarily long in any closed class, so the
+			// QBD is positive recurrent iff every class drifts down; report
+			// the drift of the binding class (smallest down-minus-up margin).
+			up, down, cerr := p.classDrift(a)
+			if cerr != nil {
+				p.driftErr = fmt.Errorf("qbd: drift: %w", err)
+				return
+			}
+			p.driftUp, p.driftDown = up, down
 			return
 		}
 	}
 	p.driftUp = mat.Dot(phi, p.a0.RowSums())
 	p.driftDown = mat.Dot(phi, p.a2.RowSums())
+}
+
+// classDrift computes the per-closed-class drift of a reducible phase
+// generator A and returns the (up, down) pair of the class with the smallest
+// stability margin down − up. Closed classes are the strongly connected
+// components of A's support graph with no edges leaving them; restricted to
+// such a class, A is an irreducible generator with its own stationary vector
+// and therefore its own conditional drift.
+func (p *Process) classDrift(a *mat.Matrix) (up, down float64, err error) {
+	classes := closedClasses(a)
+	if len(classes) == 0 {
+		return 0, 0, fmt.Errorf("qbd: drift: no closed class in A")
+	}
+	upRates := p.a0.RowSums()
+	downRates := p.a2.RowSums()
+	margin := math.Inf(1)
+	for _, class := range classes {
+		sub := mat.New(len(class), len(class))
+		for i, gi := range class {
+			for j, gj := range class {
+				sub.Set(i, j, a.At(gi, gj))
+			}
+		}
+		phi, serr := markov.StationaryCTMC(sub)
+		if serr != nil {
+			return 0, 0, serr
+		}
+		var cu, cd float64
+		for i, gi := range class {
+			cu += phi[i] * upRates[gi]
+			cd += phi[i] * downRates[gi]
+		}
+		if cd-cu < margin {
+			margin = cd - cu
+			up, down = cu, cd
+		}
+	}
+	return up, down, nil
+}
+
+// closedClasses returns the strongly connected components of the support
+// graph of generator a that have no outgoing edges (Tarjan's algorithm,
+// iterative). States in open components are transient within a and carry no
+// stationary mass.
+func closedClasses(a *mat.Matrix) [][]int {
+	n := a.Rows()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && a.At(i, j) > 0 {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	const unvisited = -1
+	var (
+		index   = make([]int, n)
+		lowlink = make([]int, n)
+		onStack = make([]bool, n)
+		comp    = make([]int, n)
+		stack   []int
+		sccs    [][]int
+		nextIdx int
+		frameV  []int
+		frameEi []int
+	)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frameV = append(frameV[:0], root)
+		frameEi = append(frameEi[:0], 0)
+		index[root] = nextIdx
+		lowlink[root] = nextIdx
+		nextIdx++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frameV) > 0 {
+			v := frameV[len(frameV)-1]
+			ei := frameEi[len(frameEi)-1]
+			if ei < len(adj[v]) {
+				frameEi[len(frameEi)-1]++
+				w := adj[v][ei]
+				if index[w] == unvisited {
+					index[w] = nextIdx
+					lowlink[w] = nextIdx
+					nextIdx++
+					stack = append(stack, w)
+					onStack[w] = true
+					frameV = append(frameV, w)
+					frameEi = append(frameEi, 0)
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			frameV = frameV[:len(frameV)-1]
+			frameEi = frameEi[:len(frameEi)-1]
+			if len(frameV) > 0 {
+				if parent := frameV[len(frameV)-1]; lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(sccs)
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	var closed [][]int
+	for ci, scc := range sccs {
+		open := false
+		for _, v := range scc {
+			for _, w := range adj[v] {
+				if comp[w] != ci {
+					open = true
+					break
+				}
+			}
+			if open {
+				break
+			}
+		}
+		if !open {
+			closed = append(closed, scc)
+		}
+	}
+	return closed
 }
 
 // Stable reports whether the QBD is positive recurrent (mean drift strictly

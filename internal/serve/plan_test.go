@@ -268,6 +268,37 @@ func TestPlanFromTrace(t *testing.T) {
 	}
 }
 
+// TestPlanFromTraceScenarioParams pins the PR 10 query-parameter surface:
+// the scenario fields (modFactor, bgAdmit, fgThreshold, deadlineRate) and
+// var=mod must be accepted on /v1/plan-from-trace — previously they would
+// have been rejected as unknown parameters.
+func TestPlanFromTraceScenarioParams(t *testing.T) {
+	s := newTest(t, Options{})
+	body := emailNDJSON(t, 2000)
+	path := "/v1/plan-from-trace?qlenFG=1e9&utilization=0.3&var=mod" +
+		"&bgAdmit=deadline&deadlineRate=0.4"
+	rec := postJSON(t, s.Handler(), path, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan-from-trace with scenario params: %d %s", rec.Code, rec.Body)
+	}
+	var res PlanPointResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Error != nil {
+		t.Fatalf("want a plan, got %s", rec.Body)
+	}
+	// The loose SLO makes every stable φ feasible, so the downward search
+	// lands at the stability boundary (or the domain floor): a genuine
+	// fraction of 1, never above it.
+	if res.Plan.Value <= 0 || res.Plan.Value > 1 {
+		t.Fatalf("mod frontier out of (0, 1]: %+v", res.Plan)
+	}
+	if res.Plan.Var != "mod" {
+		t.Fatalf("plan var = %q, want mod", res.Plan.Var)
+	}
+}
+
 func TestPlanFromTraceErrors(t *testing.T) {
 	s := newTest(t, Options{})
 	cases := []struct {

@@ -41,6 +41,21 @@ type SolveRequest struct {
 	ServiceSCV float64 `json:"serviceSCV,omitempty"`
 	// IdleSCV sets the idle-wait SCV at the chosen mean; 0 means 1.
 	IdleSCV float64 `json:"idleSCV,omitempty"`
+	// ModFactor is the capacity-modulation factor φ ∈ (0, 1]: while any
+	// background work is in the system the server runs at rate φ·µ. 0 means
+	// 1 (no modulation).
+	ModFactor float64 `json:"modFactor,omitempty"`
+	// BGAdmit selects the background admission policy: all (default),
+	// util-threshold, or deadline.
+	BGAdmit string `json:"bgAdmit,omitempty"`
+	// FGThreshold is the util-threshold policy's K: a spawned background job
+	// is admitted only when at most K foreground jobs are waiting. Only
+	// valid with bgAdmit "util-threshold".
+	FGThreshold int `json:"fgThreshold,omitempty"`
+	// DeadlineRate is the deadline policy's renege rate δ: each waiting
+	// background job abandons at rate δ. Required with (and only valid
+	// with) bgAdmit "deadline".
+	DeadlineRate float64 `json:"deadlineRate,omitempty"`
 }
 
 // SweepRequest is the JSON body of POST /v1/sweep: a batch of independent
@@ -62,7 +77,7 @@ type OptimizeRequest struct {
 	// SLO bounds the foreground metrics the plan must preserve; at least
 	// one of qlenFG, waitPFG, respTimeFG must be set.
 	SLO plan.SLO `json:"slo"`
-	// Var names the decision variable: p (default), x, or alpha.
+	// Var names the decision variable: p (default), x, alpha, or mod.
 	Var string `json:"var,omitempty"`
 	// Tolerance is the convergence tolerance of the continuous searches;
 	// 0 means the planner default (1e-4).
@@ -192,11 +207,19 @@ func (r SolveRequest) ConfigWithArrival(m *arrival.MAP) (core.Config, error) {
 	if idleSCV == 0 {
 		idleSCV = 1
 	}
+	admit, err := core.ParseBGAdmission(r.BGAdmit)
+	if err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.Config{
-		Arrival:    m,
-		BGProb:     r.BGProb,
-		BGBuffer:   buffer,
-		IdlePolicy: policy,
+		Arrival:      m,
+		BGProb:       r.BGProb,
+		BGBuffer:     buffer,
+		IdlePolicy:   policy,
+		ModFactor:    r.ModFactor,
+		BGAdmit:      admit,
+		FGThreshold:  r.FGThreshold,
+		DeadlineRate: r.DeadlineRate,
 	}
 	idleMean := idleMult * workload.MeanServiceTimeMs
 	if idleSCV == 1 {

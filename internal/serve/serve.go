@@ -819,6 +819,7 @@ func planTraceQuery(q url.Values) (OptimizeRequest, error) {
 		"tolerance": true, "maxIter": true, "utilization": true,
 		"bgProb": true, "bgBuffer": true, "idleMult": true, "policy": true,
 		"serviceSCV": true, "idleSCV": true,
+		"modFactor": true, "bgAdmit": true, "fgThreshold": true, "deadlineRate": true,
 	}
 	for name := range q {
 		if !known[name] {
@@ -828,6 +829,7 @@ func planTraceQuery(q url.Values) (OptimizeRequest, error) {
 	}
 	req.Var = q.Get("var")
 	req.Policy = q.Get("policy")
+	req.BGAdmit = q.Get("bgAdmit")
 	for _, p := range []struct {
 		name string
 		dst  *float64
@@ -841,6 +843,8 @@ func planTraceQuery(q url.Values) (OptimizeRequest, error) {
 		{"idleMult", &req.IdleMult},
 		{"serviceSCV", &req.ServiceSCV},
 		{"idleSCV", &req.IdleSCV},
+		{"modFactor", &req.ModFactor},
+		{"deadlineRate", &req.DeadlineRate},
 	} {
 		if err := getF(p.name, p.dst); err != nil {
 			return req, err
@@ -852,6 +856,7 @@ func planTraceQuery(q url.Values) (OptimizeRequest, error) {
 	}{
 		{"maxIter", func(n int) { req.MaxIter = n }},
 		{"bgBuffer", func(n int) { req.BGBuffer = &n }},
+		{"fgThreshold", func(n int) { req.FGThreshold = n }},
 	} {
 		v := q.Get(p.name)
 		if v == "" {

@@ -237,7 +237,7 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	for rs.now < rs.measEnd {
 		// Same tie-break as Run: arrival, then service completion, then
 		// idle expiry at equal timestamps (see nextEvent).
-		next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry)
+		next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry, inf)
 		rs.accumulate(next)
 		rs.now = next
 		in := next >= rs.measStart && next < rs.measEnd

@@ -136,6 +136,7 @@ func addMetrics(dst *core.Metrics, src core.Metrics) {
 	dst.DropRateBG += src.DropRateBG
 	dst.RespTimeFG += src.RespTimeFG
 	dst.RespTimeBG += src.RespTimeBG
+	dst.DeadlineMissBG += src.DeadlineMissBG
 }
 
 // scaleMetrics multiplies every field of m by c.
@@ -154,6 +155,7 @@ func scaleMetrics(m *core.Metrics, c float64) {
 	m.DropRateBG *= c
 	m.RespTimeFG *= c
 	m.RespTimeBG *= c
+	m.DeadlineMissBG *= c
 }
 
 // t95 holds two-sided 95% Student-t critical values for 1..30 degrees of

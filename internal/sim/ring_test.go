@@ -85,7 +85,7 @@ func TestRingReuseAcrossLongRun(t *testing.T) {
 			Seed: 11, MeasureTime: horizon, Batches: 20,
 		}.withDefaults())
 		for rs.now < rs.measEnd {
-			next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry)
+			next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry, inf)
 			rs.now = next
 			switch kind {
 			case evArrival:

@@ -96,6 +96,19 @@ type Config struct {
 	// IdleDist selects the idle-wait distribution (zero value:
 	// exponential).
 	IdleDist IdleDist
+	// ModFactor is the capacity-modulation factor φ ∈ (0, 1], mirroring
+	// core.Config.ModFactor: while any BG work is in the system the server
+	// runs at rate φ·µ, so service draws are stretched by 1/φ. Zero means 1.
+	ModFactor float64
+	// BGAdmit selects the BG admission policy, mirroring
+	// core.Config.BGAdmit (zero value: AdmitAll).
+	BGAdmit core.BGAdmission
+	// FGThreshold is the util-threshold K, mirroring
+	// core.Config.FGThreshold.
+	FGThreshold int
+	// DeadlineRate is the renege rate δ of core.AdmitDeadline, mirroring
+	// core.Config.DeadlineRate.
+	DeadlineRate float64
 
 	// Seed makes the run reproducible.
 	Seed int64
@@ -114,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleDist == 0 {
 		c.IdleDist = IdleExponential
+	}
+	if c.ModFactor == 0 {
+		c.ModFactor = 1
+	}
+	if c.BGAdmit == 0 {
+		c.BGAdmit = core.AdmitAll
 	}
 	if c.Batches == 0 {
 		c.Batches = 20
@@ -141,6 +160,18 @@ func (c Config) validate() error {
 		return core.NewValidationError(ErrConfig, "IdleDist", "IdleWait and IdleDeterministic are incompatible")
 	case c.BGBuffer > 0 && c.IdleRate <= 0 && c.IdleWait == nil:
 		return core.NewValidationError(ErrConfig, "IdleRate", "idle rate %g must be positive with a BG buffer", c.IdleRate)
+	case !(c.ModFactor > 0 && c.ModFactor <= 1):
+		return core.NewValidationError(ErrConfig, "ModFactor", "modulation factor %g must lie in (0,1]", c.ModFactor)
+	case c.BGAdmit != core.AdmitAll && c.BGAdmit != core.AdmitUtilThreshold && c.BGAdmit != core.AdmitDeadline:
+		return core.NewValidationError(ErrConfig, "BGAdmit", "unknown BG admission policy %d", int(c.BGAdmit))
+	case c.FGThreshold < 0:
+		return core.NewValidationError(ErrConfig, "FGThreshold", "FG threshold %d must be nonnegative", c.FGThreshold)
+	case c.FGThreshold != 0 && c.BGAdmit != core.AdmitUtilThreshold:
+		return core.NewValidationError(ErrConfig, "FGThreshold", "FG threshold requires the util-threshold admission policy")
+	case c.BGAdmit == core.AdmitDeadline && c.DeadlineRate <= 0:
+		return core.NewValidationError(ErrConfig, "DeadlineRate", "deadline rate %g must be positive with the deadline admission policy", c.DeadlineRate)
+	case c.BGAdmit != core.AdmitDeadline && c.DeadlineRate != 0:
+		return core.NewValidationError(ErrConfig, "DeadlineRate", "deadline rate requires the deadline admission policy")
 	case c.MeasureTime <= 0:
 		return core.NewValidationError(ErrConfig, "MeasureTime", "measurement window %g must be positive", c.MeasureTime)
 	case c.WarmupTime < 0:
@@ -161,6 +192,7 @@ type Counters struct {
 	DroppedBG       int64
 	CompletedBG     int64
 	IdleExpirations int64 // idle-wait timers that expired and started BG service
+	RenegedBG       int64 // admitted BG jobs whose deadline expired while waiting
 	Events          int64 // total events processed inside the window
 }
 
@@ -202,21 +234,26 @@ const (
 	evArrival eventKind = iota
 	evService
 	evIdle
+	evRenege
 )
 
-// nextEvent picks the earliest of the three pending timers, breaking ties in
-// the fixed order arrival, then service completion, then idle expiry (the
-// strict < keeps the earlier-ranked candidate at equal timestamps). The
-// order is part of the simulator's semantics — an arrival coinciding with a
-// BG service completion is counted as delayed — and is pinned by
+// nextEvent picks the earliest of the four pending timers, breaking ties in
+// the fixed order arrival, then service completion, then idle expiry, then
+// deadline renege (the strict < keeps the earlier-ranked candidate at equal
+// timestamps). The order is part of the simulator's semantics — an arrival
+// coinciding with a BG service completion is counted as delayed, and a
+// renege racing any other event loses — and is pinned by
 // TestEventTieBreakOrder.
-func nextEvent(arr, svc, idle float64) (float64, eventKind) {
+func nextEvent(arr, svc, idle, renege float64) (float64, eventKind) {
 	next, kind := arr, evArrival
 	if svc < next {
 		next, kind = svc, evService
 	}
 	if idle < next {
 		next, kind = idle, evIdle
+	}
+	if renege < next {
+		next, kind = renege, evRenege
 	}
 	return next, kind
 }
@@ -239,12 +276,21 @@ type runState struct {
 	perPeriod  bool
 	bgProb     float64
 	bgBuffer   int
+	// Capacity modulation and smart admission (mirroring core). modFactor 1
+	// keeps every hot-path branch below untaken, so the baseline event
+	// stream is bit-identical to the pre-modulation simulator.
+	modFactor    float64 // φ
+	modInv       float64 // 1/φ: service-draw stretch while BG work is present
+	admitUtil    bool    // util-threshold admission active
+	fgThreshold  int     // K of the util-threshold policy
+	deadlineRate float64 // δ of the deadline policy (0: no reneging)
 
 	// Dynamic state.
 	now        float64
 	nextArr    float64
 	serviceEnd float64
 	idleExpiry float64
+	nextRenege float64
 	state      serverState
 	fgQueue    int // waiting FG jobs (excluding in service)
 	bgQueue    int // waiting BG jobs (excluding in service)
@@ -293,11 +339,17 @@ func (rs *runState) setup(cfg Config) {
 	rs.perPeriod = cfg.IdlePolicy == core.IdleWaitPerPeriod
 	rs.bgProb = cfg.BGProb
 	rs.bgBuffer = cfg.BGBuffer
+	rs.modFactor = cfg.ModFactor
+	rs.modInv = 1 / cfg.ModFactor
+	rs.admitUtil = cfg.BGAdmit == core.AdmitUtilThreshold
+	rs.fgThreshold = cfg.FGThreshold
+	rs.deadlineRate = cfg.DeadlineRate
 
 	rs.state = stateIdle
 	rs.nextArr = rs.sampler.Next()
 	rs.serviceEnd = inf
 	rs.idleExpiry = inf
+	rs.nextRenege = inf
 	rs.fgTimes.init(fifoInitialCap)
 
 	rs.measStart = cfg.WarmupTime
@@ -392,18 +444,50 @@ func (rs *runState) accumulate(next float64) {
 	rs.batchBG[rs.bi] += nb * (hi - lo)
 }
 
+// startFG begins a foreground service. BG population changes only at FG
+// completion epochs and deadline reneges, so the modulation speed chosen
+// here holds for the whole draw except the one renege-rescale case handled
+// in the event loop; stretching the entire draw by 1/φ is therefore exact.
 func (rs *runState) startFG() {
 	rs.fgQueue--
 	rs.state = stateServingFG
-	rs.serviceEnd = rs.now + rs.drawService()
+	d := rs.drawService()
+	if rs.modFactor != 1 && rs.bgQueue > 0 {
+		d *= rs.modInv
+	}
+	rs.serviceEnd = rs.now + d
 	rs.idleExpiry = inf
 }
 
+// startBG begins a background service; the job itself keeps the system
+// modulated (x ≥ 1) for the full draw, and reneges only shrink the waiting
+// pool, so no rescale case exists here.
 func (rs *runState) startBG() {
 	rs.bgQueue--
 	rs.state = stateServingBG
-	rs.serviceEnd = rs.now + rs.drawService()
+	d := rs.drawService()
+	if rs.modFactor != 1 {
+		d *= rs.modInv
+	}
+	rs.serviceEnd = rs.now + d
 	rs.idleExpiry = inf
+	rs.rearmRenege()
+}
+
+// rearmRenege redraws the pooled deadline timer after a change to the
+// waiting-BG population: the minimum of w independent exponential deadlines
+// with rate δ is exponential with rate w·δ, and memorylessness makes a fresh
+// draw at every population change distribution-exact. Guarded on the policy
+// so baseline runs consume no extra random numbers.
+func (rs *runState) rearmRenege() {
+	if rs.deadlineRate <= 0 {
+		return
+	}
+	if rs.bgQueue > 0 {
+		rs.nextRenege = rs.now + rs.rng.ExpFloat64()/(float64(rs.bgQueue)*rs.deadlineRate)
+	} else {
+		rs.nextRenege = inf
+	}
 }
 
 func (rs *runState) armIdleOrRest() {
@@ -453,7 +537,7 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 				return nil, fmt.Errorf("sim: canceled at t=%g: %w", rs.now, err)
 			}
 		}
-		next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry)
+		next, kind := nextEvent(rs.nextArr, rs.serviceEnd, rs.idleExpiry, rs.nextRenege)
 		rs.accumulate(next)
 		rs.now = next
 		in := next >= rs.measStart && next < rs.measEnd
@@ -497,8 +581,13 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 					if in {
 						rs.counters.GeneratedBG++
 					}
-					if rs.bgQueue < rs.bgBuffer {
+					// Admission: buffer space always required; the
+					// util-threshold policy additionally demands a
+					// foreground backlog of at most K jobs (the queue left
+					// behind by the completing job, i.e. core's yLeft).
+					if rs.bgQueue < rs.bgBuffer && (!rs.admitUtil || rs.fgQueue <= rs.fgThreshold) {
 						rs.bgQueue++
+						rs.rearmRenege()
 						if in {
 							rs.counters.AdmittedBG++
 						}
@@ -524,6 +613,31 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 				}
 			default:
 				return nil, fmt.Errorf("sim: service completion in state %d", rs.state)
+			}
+
+		case evRenege:
+			// A waiting BG job's deadline expired. The pooled timer fires at
+			// rate bgQueue·δ, so any waiting job may be the one to leave;
+			// they are exchangeable, so no identity bookkeeping is needed.
+			if rs.deadlineRate <= 0 || rs.bgQueue == 0 {
+				return nil, fmt.Errorf("sim: renege in state %d with %d BG", rs.state, rs.bgQueue)
+			}
+			rs.bgQueue--
+			if in {
+				rs.counters.RenegedBG++
+			}
+			rs.rearmRenege()
+			switch {
+			case rs.state == stateIdleWait && rs.bgQueue == 0:
+				// The last waiting job left: disarm the idle timer.
+				rs.state = stateIdle
+				rs.idleExpiry = inf
+			case rs.state == stateServingFG && rs.modFactor != 1 && rs.bgQueue == 0:
+				// The last BG job left mid-FG-service: the server speeds
+				// back up from φ·µ to µ, shrinking the remaining service
+				// time by φ — exact for any service law, because the
+				// remaining work is fixed and only the rate changes.
+				rs.serviceEnd = rs.now + (rs.serviceEnd-rs.now)*rs.modFactor
 			}
 
 		default: // idle-wait expiry
@@ -567,6 +681,7 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 	if res.Counters.AdmittedBG > 0 {
 		// Little's law over the BG population: mean sojourn of admitted jobs.
 		m.RespTimeBG = rs.bgArea / float64(res.Counters.AdmittedBG)
+		m.DeadlineMissBG = float64(res.Counters.RenegedBG) / float64(res.Counters.AdmittedBG)
 	}
 
 	res.QLenFGHalf = batchHalfWidth(rs.batchFG, rs.batchLen)
@@ -578,7 +693,7 @@ func RunOpts(ctx context.Context, cfg Config, o obs.Observer) (*Result, error) {
 			DelayedFG: c.DelayedFG, GeneratedBG: c.GeneratedBG,
 			AdmittedBG: c.AdmittedBG, DroppedBG: c.DroppedBG,
 			CompletedBG: c.CompletedBG, IdleExpirations: c.IdleExpirations,
-			Events: c.Events,
+			RenegedBG: c.RenegedBG, Events: c.Events,
 		})
 	}
 	return res, nil

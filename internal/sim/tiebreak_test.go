@@ -3,35 +3,42 @@ package sim
 import "testing"
 
 // TestEventTieBreakOrder pins the event-loop dispatch order at equal
-// timestamps: arrival before service completion before idle expiry. The
-// order is semantically load-bearing — an FG arrival coinciding with a BG
-// completion must be processed while the BG job is still in service, so it
-// counts as delayed (WaitPFG); an arrival coinciding with an idle expiry
-// must claim the server before the BG job does. Before PR 7 the order was
-// implicit in the switch statement of the event loop; nextEvent makes it
-// explicit.
+// timestamps: arrival before service completion before idle expiry before
+// deadline renege. The order is semantically load-bearing — an FG arrival
+// coinciding with a BG completion must be processed while the BG job is
+// still in service, so it counts as delayed (WaitPFG); an arrival coinciding
+// with an idle expiry must claim the server before the BG job does; and a
+// renege tied with any other event must lose, so a BG job completing (or
+// being started) at the very instant its deadline fires is served rather
+// than discarded. Before PR 7 the order was implicit in the switch statement
+// of the event loop; nextEvent makes it explicit.
 func TestEventTieBreakOrder(t *testing.T) {
 	cases := []struct {
-		name           string
-		arr, svc, idle float64
-		wantT          float64
-		wantKind       eventKind
+		name                   string
+		arr, svc, idle, renege float64
+		wantT                  float64
+		wantKind               eventKind
 	}{
-		{"arrival strictly first", 1, 2, 3, 1, evArrival},
-		{"service strictly first", 3, 1, 2, 1, evService},
-		{"idle strictly first", 3, 2, 1, 1, evIdle},
-		{"three-way tie -> arrival", 5, 5, 5, 5, evArrival},
-		{"arrival/service tie -> arrival", 5, 5, 7, 5, evArrival},
-		{"arrival/idle tie -> arrival", 5, 9, 5, 5, evArrival},
-		{"service/idle tie -> service", 9, 5, 5, 5, evService},
-		{"no timers armed", inf, inf, inf, inf, evArrival},
-		{"service tied with unarmed", 5, 5, inf, 5, evArrival},
+		{"arrival strictly first", 1, 2, 3, 4, 1, evArrival},
+		{"service strictly first", 3, 1, 2, 4, 1, evService},
+		{"idle strictly first", 3, 2, 1, 4, 1, evIdle},
+		{"renege strictly first", 3, 2, 4, 1, 1, evRenege},
+		{"four-way tie -> arrival", 5, 5, 5, 5, 5, evArrival},
+		{"arrival/service tie -> arrival", 5, 5, 7, 7, 5, evArrival},
+		{"arrival/idle tie -> arrival", 5, 9, 5, 9, 5, evArrival},
+		{"service/idle tie -> service", 9, 5, 5, 9, 5, evService},
+		{"service/renege tie -> service", 9, 5, 9, 5, 5, evService},
+		{"idle/renege tie -> idle", 9, 9, 5, 5, 5, evIdle},
+		{"arrival/renege tie -> arrival", 5, 9, 9, 5, 5, evArrival},
+		{"no timers armed", inf, inf, inf, inf, inf, evArrival},
+		{"service tied with unarmed", 5, 5, inf, inf, 5, evArrival},
+		{"renege alone armed", inf, inf, inf, 5, 5, evRenege},
 	}
 	for _, tc := range cases {
-		gotT, gotKind := nextEvent(tc.arr, tc.svc, tc.idle)
+		gotT, gotKind := nextEvent(tc.arr, tc.svc, tc.idle, tc.renege)
 		if gotT != tc.wantT || gotKind != tc.wantKind {
-			t.Errorf("%s: nextEvent(%g, %g, %g) = (%g, %d), want (%g, %d)",
-				tc.name, tc.arr, tc.svc, tc.idle, gotT, gotKind, tc.wantT, tc.wantKind)
+			t.Errorf("%s: nextEvent(%g, %g, %g, %g) = (%g, %d), want (%g, %d)",
+				tc.name, tc.arr, tc.svc, tc.idle, tc.renege, gotT, gotKind, tc.wantT, tc.wantKind)
 		}
 	}
 }
@@ -44,7 +51,7 @@ func TestEventTieBreakOrder(t *testing.T) {
 // by hand, processed through the same nextEvent the loop uses.
 func TestTieBreakDelayedFGSemantics(t *testing.T) {
 	// At t=5 both an FG arrival and the end of a BG service are pending.
-	_, kind := nextEvent(5, 5, inf)
+	_, kind := nextEvent(5, 5, inf, inf)
 	if kind != evArrival {
 		t.Fatalf("arrival tied with BG completion dispatched as %d, want evArrival", kind)
 	}
@@ -53,11 +60,17 @@ func TestTieBreakDelayedFGSemantics(t *testing.T) {
 	// freed the server and lost the delay. The counting itself is covered by
 	// the window-additivity and conformance suites; this test pins that the
 	// dispatch order feeding it cannot silently flip.
-	_, kind = nextEvent(5, 5, 5)
+	_, kind = nextEvent(5, 5, 5, inf)
 	if kind != evArrival {
 		t.Fatalf("three-way tie dispatched as %d, want evArrival", kind)
 	}
-	if _, kind = nextEvent(6, 5, 5); kind != evService {
+	if _, kind = nextEvent(6, 5, 5, inf); kind != evService {
 		t.Fatalf("service/idle tie dispatched as %d, want evService", kind)
+	}
+	// A renege tied with the completion of the job ahead of it must lose:
+	// the queued BG job is still present after the completion is dispatched,
+	// and the pooled renege timer is redrawn before it can fire.
+	if _, kind = nextEvent(6, 5, inf, 5); kind != evService {
+		t.Fatalf("service/renege tie dispatched as %d, want evService", kind)
 	}
 }

@@ -35,6 +35,7 @@ func addCounters(a, b Counters) Counters {
 	a.DroppedBG += b.DroppedBG
 	a.CompletedBG += b.CompletedBG
 	a.IdleExpirations += b.IdleExpirations
+	a.RenegedBG += b.RenegedBG
 	a.Events += b.Events
 	return a
 }
@@ -66,6 +67,19 @@ func TestWarmupWindowAdditivity(t *testing.T) {
 		{"ph-idle", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleWait: idlePH}},
 		{"det-idle", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1, IdleDist: IdleDeterministic}},
 		{"per-period", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1, IdlePolicy: core.IdleWaitPerPeriod}},
+		// PR 10 scenario axes: the idle-wait timer, the stretched service
+		// draws, and the pooled renege timer must all respect the window
+		// boundary exactly — a straddling modulated service or a renege
+		// landing on measStart partitions like any other event.
+		{"modulated", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1, ModFactor: 0.6}},
+		{"util-threshold", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1,
+			BGAdmit: core.AdmitUtilThreshold, FGThreshold: 2}},
+		{"deadline", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1,
+			BGAdmit: core.AdmitDeadline, DeadlineRate: 0.3}},
+		{"modulated-deadline", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1,
+			ModFactor: 0.7, BGAdmit: core.AdmitDeadline, DeadlineRate: 0.5}},
+		{"modulated-util-per-period", Config{Arrival: m, ServiceRate: 1, BGProb: 0.6, BGBuffer: 4, IdleRate: 1,
+			ModFactor: 0.8, BGAdmit: core.AdmitUtilThreshold, FGThreshold: 1, IdlePolicy: core.IdleWaitPerPeriod}},
 	}
 	// Non-round window edges so batch boundaries and event times never
 	// align by construction.

@@ -136,16 +136,16 @@ func (c callOpts) planOptions() plan.Options {
 }
 
 // WithPlanVar selects the decision variable of the inverse-solver entry
-// points (Plan, PlanFromTrace): PlanBGProb (the default), PlanBGBuffer, or
-// PlanIdleRate. Forward entry points accept and ignore it.
+// points (Plan, PlanFromTrace): PlanBGProb (the default), PlanBGBuffer,
+// PlanIdleRate, or PlanModFactor. Forward entry points accept and ignore it.
 func WithPlanVar(v PlanVar) Option {
 	return func(c *callOpts) {
 		switch v {
-		case plan.VarBGProb, plan.VarBGBuffer, plan.VarIdleRate:
+		case plan.VarBGProb, plan.VarBGBuffer, plan.VarIdleRate, plan.VarModFactor:
 			c.planVar = v
 		default:
 			c.err = core.NewValidationError(core.ErrConfig, "PlanVar",
-				"unknown decision variable %d (want PlanBGProb | PlanBGBuffer | PlanIdleRate)", int(v))
+				"unknown decision variable %d (want PlanBGProb | PlanBGBuffer | PlanIdleRate | PlanModFactor)", int(v))
 		}
 	}
 }
